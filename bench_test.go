@@ -1,0 +1,167 @@
+package parmac
+
+// One benchmark per table/figure of the paper (each drives the same
+// experiment code as cmd/parmac-bench, at reduced scale so `go test -bench .`
+// stays tractable on one core), plus micro-benchmarks of the hot paths:
+// the Z-step solvers, the circulating-submodel SGD passes, one full engine
+// iteration, and the simulator/theory speedup evaluations.
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/binauto"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/retrieval"
+	"repro/internal/sim"
+	"repro/internal/speedup"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		e, ok := experiments.ByID(id)
+		if !ok {
+			b.Fatalf("unknown experiment %s", id)
+		}
+		tabs := e.Run(experiments.RunConfig{Quick: true, Seed: 1})
+		for _, t := range tabs {
+			t.Fprint(io.Discard)
+		}
+	}
+}
+
+// BenchmarkFig03Schedule regenerates the P=4, M=12 W-step schedule (Fig. 3).
+func BenchmarkFig03Schedule(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkFig04TheoryCurve regenerates the typical speedup curve (Fig. 4).
+func BenchmarkFig04TheoryCurve(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFig05TheoryGrid regenerates the speedup-parameter grid (Fig. 5).
+func BenchmarkFig05TheoryGrid(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig07SIFT10KCurves regenerates the SIFT-10K learning curves (Fig. 7).
+func BenchmarkFig07SIFT10KCurves(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFig08CIFARCurves regenerates the CIFAR learning curves (Fig. 8).
+func BenchmarkFig08CIFARCurves(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFig09Shuffling regenerates the shuffling comparison (Fig. 9).
+func BenchmarkFig09Shuffling(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFig10Speedups regenerates the strong-scaling speedups (Fig. 10).
+func BenchmarkFig10Speedups(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkFig11SIFT1BCurves regenerates the SIFT-1B learning curves (Fig. 11).
+func BenchmarkFig11SIFT1BCurves(b *testing.B) { benchExperiment(b, "fig11") }
+
+// BenchmarkFig12RecallAtR regenerates the recall@R comparison (Fig. 12).
+func BenchmarkFig12RecallAtR(b *testing.B) { benchExperiment(b, "fig12") }
+
+// BenchmarkFig13CommSplit regenerates the nodes×procs split (Fig. 13).
+func BenchmarkFig13CommSplit(b *testing.B) { benchExperiment(b, "fig13") }
+
+// BenchmarkTab01Systems regenerates the system-parameter table (Table 1).
+func BenchmarkTab01Systems(b *testing.B) { benchExperiment(b, "tab1") }
+
+// BenchmarkTabSIFT1B regenerates the §8.4 recall/time table.
+func BenchmarkTabSIFT1B(b *testing.B) { benchExperiment(b, "tab-sift1b") }
+
+// ---------------------------------------------------------------------------
+// micro-benchmarks of the hot paths
+// ---------------------------------------------------------------------------
+
+func benchModelAndData(b *testing.B, n, d, l int) (*binauto.Model, *dataset.Dataset, *retrieval.Codes) {
+	b.Helper()
+	ds := dataset.GISTLike(n, d, 8, 1)
+	m, z, _ := binauto.RunMAC(ds, binauto.MACConfig{
+		L: l, Mu0: 1e-3, MuFactor: 2, Iters: 2, SVMEpochs: 1, Seed: 1,
+	})
+	return m, ds, z
+}
+
+// BenchmarkZStepEnumerate measures the exact Gray-code Z solve per point
+// (L=12: 4096 candidates).
+func BenchmarkZStepEnumerate(b *testing.B) {
+	m, ds, z := benchModelAndData(b, 64, 32, 12)
+	s := binauto.NewZSolver(m, 0.5, binauto.ZEnumerate)
+	buf := make([]float64, ds.D)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Solve(ds.Point(i%ds.N, buf), z, i%ds.N)
+	}
+}
+
+// BenchmarkZStepAlternate measures the relaxed+alternating Z solve per point
+// at L=32.
+func BenchmarkZStepAlternate(b *testing.B) {
+	ds := dataset.GISTLike(64, 64, 8, 2)
+	m, z, _ := binauto.RunMAC(ds, binauto.MACConfig{
+		L: 32, Mu0: 1e-3, Iters: 1, SVMEpochs: 1, Seed: 2, ZMethod: binauto.ZAlternate,
+	})
+	s := binauto.NewZSolver(m, 0.5, binauto.ZAlternate)
+	buf := make([]float64, ds.D)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Solve(ds.Point(i%ds.N, buf), z, i%ds.N)
+	}
+}
+
+// BenchmarkEngineIteration measures one full ParMAC W+Z iteration (P=4,
+// L=8 BA on 800 points).
+func BenchmarkEngineIteration(b *testing.B) {
+	ds := dataset.GISTLike(800, 16, 8, 3)
+	shards := dataset.ShardIndices(ds.N, 4, nil)
+	prob := binauto.NewParMACProblem(ds, shards, binauto.ParMACConfig{
+		L: 8, Mu0: 1e-3, Seed: 3,
+	})
+	eng := core.New(prob, core.Config{P: 4, Epochs: 1, Seed: 3})
+	defer eng.Shutdown()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Iterate()
+	}
+}
+
+// BenchmarkSimIteration measures the discrete-event simulator at Fig. 10's
+// SIFT-1B scale (P=128, M=128).
+func BenchmarkSimIteration(b *testing.B) {
+	cfg := sim.Config{P: 128, N: 100000000, M: 128, Epochs: 2, TWr: 1, TWc: 1e4, TZr: 40, Seed: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Run(cfg)
+	}
+}
+
+// BenchmarkTheoryCurve measures the closed-form S(P) over a 2000-point grid.
+func BenchmarkTheoryCurve(b *testing.B) {
+	p := speedup.Params{N: 1e6, M: 512, E: 1, TWr: 1, TZr: 5, TWc: 1e3}
+	for i := 0; i < b.N; i++ {
+		for q := 1; q <= 2000; q++ {
+			_ = p.Speedup(float64(q))
+		}
+	}
+}
+
+// BenchmarkTrainBinaryAutoencoder measures the public one-call API end to
+// end at small scale.
+func BenchmarkTrainBinaryAutoencoder(b *testing.B) {
+	ds := SyntheticSIFT(400, 16, 8, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TrainBinaryAutoencoder(ds, BAOptions{
+			Bits: 8, Machines: 2, Epochs: 1, Iterations: 3, Seed: 5,
+		})
+	}
+}
+
+// BenchmarkAblationZMethod regenerates the exact-vs-alternating Z ablation.
+func BenchmarkAblationZMethod(b *testing.B) { benchExperiment(b, "abl-z") }
+
+// BenchmarkAblationDecoderGroups regenerates the §5.4 grouping ablation.
+func BenchmarkAblationDecoderGroups(b *testing.B) { benchExperiment(b, "abl-groups") }
+
+// BenchmarkAblationWithinPasses regenerates the §4.2 two-round W-step ablation.
+func BenchmarkAblationWithinPasses(b *testing.B) { benchExperiment(b, "abl-within") }

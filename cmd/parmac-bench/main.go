@@ -1,0 +1,54 @@
+// parmac-bench regenerates the paper's tables and figures as text tables.
+//
+// Usage:
+//
+//	parmac-bench -exp fig10          # one experiment
+//	parmac-bench -exp all            # everything (slow)
+//	parmac-bench -list               # available experiment ids
+//	parmac-bench -exp fig7 -quick    # reduced scale
+//
+// Each experiment id matches a table or figure of the paper; see DESIGN.md §4
+// for the mapping and EXPERIMENTS.md for paper-vs-measured notes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (figN, tab1, tab-sift1b) or 'all'")
+	quick := flag.Bool("quick", false, "run at reduced scale")
+	seed := flag.Int64("seed", 1, "random seed")
+	list := flag.Bool("list", false, "list available experiments")
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-12s %s\n", e.ID, e.Title)
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	cfg := experiments.RunConfig{Quick: *quick, Seed: *seed}
+	if *exp == "all" {
+		for _, e := range experiments.All() {
+			if err := experiments.RunAndPrint(e.ID, cfg, os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	if err := experiments.RunAndPrint(*exp, cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}

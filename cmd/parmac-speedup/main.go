@@ -1,0 +1,63 @@
+// parmac-speedup explores the closed-form parallel-speedup model of §5: given
+// the workload and cost parameters it prints S(P) over a range of machine
+// counts, the model constants ρ1/ρ2/ρ, and the predicted optimum P*.
+//
+// Usage:
+//
+//	parmac-speedup -n 1000000 -m 512 -e 1 -twr 1 -tzr 5 -twc 1000 -pmax 2000
+//	parmac-speedup -bits 16 ...         # sets m = 2L per §5.4
+//	parmac-speedup ... -sim             # add the discrete-event simulation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/sim"
+	"repro/internal/speedup"
+)
+
+func main() {
+	n := flag.Int("n", 1000000, "training points N")
+	m := flag.Int("m", 512, "independent submodels M")
+	bits := flag.Int("bits", 0, "BA code length L; sets M = 2L when given")
+	e := flag.Int("e", 1, "epochs per W step")
+	twr := flag.Float64("twr", 1, "W-step compute per submodel per point")
+	tzr := flag.Float64("tzr", 5, "Z-step compute per point per submodel")
+	twc := flag.Float64("twc", 1000, "W-step communication per submodel hop")
+	pmax := flag.Int("pmax", 2000, "largest machine count to evaluate")
+	steps := flag.Int("steps", 20, "number of P samples")
+	withSim := flag.Bool("sim", false, "also run the discrete-event simulator")
+	flag.Parse()
+
+	if *bits > 0 {
+		*m = speedup.EffectiveSubmodels(*bits)
+	}
+	p := speedup.Params{N: *n, M: *m, E: *e, TWr: *twr, TZr: *tzr, TWc: *twc}
+	fmt.Printf("model: N=%d M=%d e=%d tWr=%g tZr=%g tWc=%g\n", *n, *m, *e, *twr, *tzr, *twc)
+	fmt.Printf("rho1=%.6f rho2=%.6f rho=%.6f rhoN=%.1f\n", p.Rho1(), p.Rho2(), p.Rho(), p.PerfectSpeedupBound())
+	pStar, sStar := p.GlobalMax()
+	fmt.Printf("global maximum: S*=%.1f at P*=%.0f\n\n", sStar, pStar)
+
+	if *pmax < 2 || *steps < 2 {
+		fmt.Fprintln(os.Stderr, "pmax and steps must be >= 2")
+		os.Exit(2)
+	}
+	if *withSim {
+		fmt.Printf("%8s %12s %12s\n", "P", "S theory", "S simulated")
+	} else {
+		fmt.Printf("%8s %12s\n", "P", "S theory")
+	}
+	for i := 0; i < *steps; i++ {
+		pp := 1 + i*(*pmax-1)/(*steps-1)
+		s := p.Speedup(float64(pp))
+		if *withSim {
+			c := sim.Config{P: pp, N: *n, M: *m, Epochs: *e, TWr: *twr, TWc: *twc, TZr: *tzr, Seed: 1}
+			ss := sim.SerialTime(c) / sim.Run(c).T
+			fmt.Printf("%8d %12.1f %12.1f\n", pp, s, ss)
+		} else {
+			fmt.Printf("%8d %12.1f\n", pp, s)
+		}
+	}
+}

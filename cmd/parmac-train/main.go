@@ -1,0 +1,117 @@
+// parmac-train trains a binary autoencoder with ParMAC on a synthetic
+// benchmark dataset, reports the learning curve and retrieval precision, and
+// can save/load the model as JSON.
+//
+// Usage:
+//
+//	parmac-train -n 10000 -d 64 -bits 16 -p 8 -iters 12 -out model.json
+//	parmac-train -load model.json -n 10000 -d 64    # evaluate a saved model
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/binauto"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/retrieval"
+)
+
+func main() {
+	n := flag.Int("n", 5000, "training points")
+	d := flag.Int("d", 64, "feature dimension")
+	clusters := flag.Int("clusters", 16, "mixture components in the synthetic data")
+	bits := flag.Int("bits", 16, "code length L")
+	p := flag.Int("p", 4, "machines P")
+	epochs := flag.Int("e", 1, "epochs per W step")
+	iters := flag.Int("iters", 10, "MAC iterations")
+	mu0 := flag.Float64("mu0", 1e-4, "initial penalty parameter")
+	muFactor := flag.Float64("mufactor", 2, "penalty growth factor")
+	shuffle := flag.Bool("shuffle", true, "shuffle ring and minibatches")
+	seed := flag.Int64("seed", 1, "random seed")
+	queries := flag.Int("queries", 100, "evaluation queries")
+	csvPath := flag.String("csv", "", "load training features from this CSV instead of generating synthetic data (queries are split off the tail)")
+	approxZ := flag.Bool("approxz", true, "use the alternating Z step instead of exact enumeration")
+	out := flag.String("out", "", "write the trained model JSON here")
+	load := flag.String("load", "", "skip training; evaluate this model JSON")
+	flag.Parse()
+
+	var ds, qs *dataset.Dataset
+	if *csvPath != "" {
+		f, err := os.Open(*csvPath)
+		fatalIf(err)
+		full, err := dataset.LoadCSV(f)
+		f.Close()
+		fatalIf(err)
+		if full.N <= *queries {
+			fatalIf(fmt.Errorf("csv has %d rows; need more than %d", full.N, *queries))
+		}
+		baseIdx := make([]int, full.N-*queries)
+		qIdx := make([]int, *queries)
+		for i := range baseIdx {
+			baseIdx[i] = i
+		}
+		for i := range qIdx {
+			qIdx[i] = full.N - *queries + i
+		}
+		ds, qs = full.Subset(baseIdx), full.Subset(qIdx)
+		*n, *d = ds.N, ds.D
+	} else {
+		ds, qs = dataset.WithQueries(*n, *queries, *d, *clusters, *seed, true)
+	}
+	truth := retrieval.GroundTruth(ds, qs, 50)
+
+	var model *binauto.Model
+	if *load != "" {
+		f, err := os.Open(*load)
+		fatalIf(err)
+		model, err = binauto.Load(f)
+		f.Close()
+		fatalIf(err)
+		fmt.Printf("loaded model: L=%d D=%d\n", model.L(), model.D())
+	} else {
+		shards := dataset.ShuffledShardIndices(*n, *p, nil, *seed)
+		zm := binauto.ZAuto
+		if *approxZ {
+			zm = binauto.ZAlternate
+		}
+		prob := binauto.NewParMACProblem(ds, shards, binauto.ParMACConfig{
+			L: *bits, Mu0: *mu0, MuFactor: *muFactor, ZMethod: zm, Seed: *seed,
+		})
+		eng := core.New(prob, core.Config{P: *p, Epochs: *epochs, Shuffle: *shuffle, Seed: *seed})
+		defer eng.Shutdown()
+
+		fmt.Printf("%5s %14s %14s %10s %12s\n", "iter", "E_Q", "E_BA", "Zchanged", "model bytes")
+		for it := 0; it < *iters; it++ {
+			res := eng.Iterate()
+			eq, eba := prob.Stats()
+			fmt.Printf("%5d %14.1f %14.1f %10d %12d\n", it, eq, eba, res.ZChanged, res.ModelBytes)
+		}
+		model = prob.AssembleModel()
+	}
+
+	base := model.Encode(ds)
+	qc := model.Encode(qs)
+	retr := make([][]int, qs.N)
+	for q := 0; q < qs.N; q++ {
+		retr[q] = retrieval.TopKHamming(base, qc.Code(q), 50)
+	}
+	fmt.Printf("retrieval precision (K=k=50): %.3f\n", retrieval.Precision(truth, retr))
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		fatalIf(err)
+		fatalIf(model.Save(f))
+		fatalIf(f.Close())
+		fmt.Printf("model written to %s\n", *out)
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}

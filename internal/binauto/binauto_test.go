@@ -1,0 +1,342 @@
+package binauto
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/pca"
+	"repro/internal/retrieval"
+	"repro/internal/vec"
+)
+
+// randomModel builds a BA with random encoder/decoder weights for Z-step
+// oracle tests.
+func randomModel(d, l int, seed int64) *Model {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewModel(d, l, 1e-4)
+	m.InitEncoderRandom(rng, 1)
+	m.Dec.W.FillGaussian(rng, 1)
+	for j := range m.Dec.C {
+		m.Dec.C[j] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestDecoderReconstruct(t *testing.T) {
+	m := NewModel(2, 2, 0)
+	m.Dec.W.Set(0, 0, 1) // B_0 = (1,0)
+	m.Dec.W.Set(1, 1, 2) // B_1 = (0,2)
+	m.Dec.C = []float64{0.5, 0.5}
+	z := retrieval.NewCodes(1, 2)
+	z.SetBit(0, 0, true)
+	z.SetBit(0, 1, true)
+	rec := m.Dec.Reconstruct(z, 0, nil)
+	if rec[0] != 1.5 || rec[1] != 2.5 {
+		t.Fatalf("reconstruct = %v", rec)
+	}
+}
+
+func TestEncodeMatchesEncodePoint(t *testing.T) {
+	ds := dataset.GISTLike(30, 5, 3, 1)
+	m := randomModel(5, 6, 2)
+	codes := m.Encode(ds)
+	bits := make([]bool, 6)
+	for i := 0; i < ds.N; i++ {
+		m.EncodePoint(ds.Point(i, nil), bits)
+		for l := 0; l < 6; l++ {
+			if codes.Bit(i, l) != bits[l] {
+				t.Fatal("Encode disagrees with EncodePoint")
+			}
+		}
+	}
+}
+
+func TestEQEqualsEBAWhenZIsHash(t *testing.T) {
+	ds := dataset.GISTLike(40, 4, 3, 3)
+	m := randomModel(4, 5, 4)
+	z := m.Encode(ds)
+	eq := m.EQ(ds, z, 7.5)
+	eba := m.EBA(ds)
+	if math.Abs(eq-eba) > 1e-9 {
+		t.Fatalf("EQ(h(X)) = %v must equal EBA = %v", eq, eba)
+	}
+}
+
+func TestEQPenaltyCountsHamming(t *testing.T) {
+	ds := dataset.GISTLike(10, 3, 2, 5)
+	m := randomModel(3, 4, 6)
+	z := m.Encode(ds)
+	base := m.EQ(ds, z, 2.0)
+	z.SetBit(0, 1, !z.Bit(0, 1)) // one bit of disagreement
+	withFlip := m.EQ(ds, z, 2.0)
+	// The reconstruction term changes too; isolate the penalty by μ=0 diff.
+	z2 := m.Encode(ds)
+	z2.SetBit(0, 1, !z2.Bit(0, 1))
+	recDelta := m.EQ(ds, z2, 0) - m.EQ(ds, m.Encode(ds), 0)
+	if math.Abs((withFlip-base)-(recDelta+2.0)) > 1e-9 {
+		t.Fatalf("penalty accounting wrong: %v vs %v", withFlip-base, recDelta+2.0)
+	}
+}
+
+func TestCodesPointsView(t *testing.T) {
+	z := retrieval.NewCodes(2, 3)
+	z.SetBit(1, 2, true)
+	cp := CodesPoints{z}
+	if cp.NumPoints() != 2 {
+		t.Fatal("NumPoints wrong")
+	}
+	v := cp.Point(1, nil)
+	if v[0] != 0 || v[1] != 0 || v[2] != 1 {
+		t.Fatalf("Point = %v", v)
+	}
+}
+
+func TestZEnumerateMatchesBruteForce(t *testing.T) {
+	for trial := int64(0); trial < 8; trial++ {
+		m := randomModel(6, 6, 100+trial)
+		ds := dataset.GISTLike(5, 6, 2, 200+trial)
+		mu := []float64{0, 0.1, 1, 10}[trial%4]
+		s := NewZSolver(m, mu, ZEnumerate)
+		z := retrieval.NewCodes(ds.N, 6)
+		for i := 0; i < ds.N; i++ {
+			x := ds.Point(i, nil)
+			s.Solve(x, z, i)
+			wantCode, wantObj := BruteForceZ(m, x, mu)
+			gotObj := PointObjective(m, x, z, i, mu)
+			if math.Abs(gotObj-wantObj) > 1e-9 {
+				t.Fatalf("trial %d point %d: enum obj %v, brute %v (codes %v)", trial, i, gotObj, wantObj, wantCode)
+			}
+		}
+	}
+}
+
+func TestZAlternateNeverWorseThanHashCode(t *testing.T) {
+	// The alternating solution must have objective <= the code z = h(x)
+	// whenever it starts from the relaxed solution and only takes improving
+	// flips... the relaxed init may differ, but local search guarantees a
+	// local optimum; we check it is never worse than both the hash code's
+	// neighbourhood-0 baseline and its own starting point by comparing with
+	// exhaustive search tolerance on small L.
+	for trial := int64(0); trial < 6; trial++ {
+		m := randomModel(5, 8, 300+trial)
+		ds := dataset.GISTLike(6, 5, 2, 400+trial)
+		mu := 0.5
+		alt := NewZSolver(m, mu, ZAlternate)
+		z := retrieval.NewCodes(ds.N, 8)
+		var sumGot, sumOpt float64
+		for i := 0; i < ds.N; i++ {
+			x := ds.Point(i, nil)
+			alt.Solve(x, z, i)
+			got := PointObjective(m, x, z, i, mu)
+			_, opt := BruteForceZ(m, x, mu)
+			if got < opt-1e-9 {
+				t.Fatalf("alternating beat the optimum?! %v < %v", got, opt)
+			}
+			sumGot += got
+			sumOpt += opt
+		}
+		// The local search may miss the global optimum per point (random
+		// decoders are adversarial for it) but must stay in its ballpark on
+		// average.
+		if sumGot > 2*sumOpt+1 {
+			t.Fatalf("alternating mean objective %v too far from optimum %v", sumGot, sumOpt)
+		}
+	}
+}
+
+func TestZAlternateIsLocalOptimum(t *testing.T) {
+	// No single-bit flip of the alternating solution may decrease the
+	// objective.
+	m := randomModel(6, 10, 500)
+	ds := dataset.GISTLike(8, 6, 3, 501)
+	mu := 0.3
+	s := NewZSolver(m, mu, ZAlternate)
+	z := retrieval.NewCodes(ds.N, 10)
+	for i := 0; i < ds.N; i++ {
+		x := ds.Point(i, nil)
+		s.Solve(x, z, i)
+		base := PointObjective(m, x, z, i, mu)
+		for b := 0; b < 10; b++ {
+			z.SetBit(i, b, !z.Bit(i, b))
+			if PointObjective(m, x, z, i, mu) < base-1e-9 {
+				t.Fatalf("point %d bit %d: flip improves, not a local optimum", i, b)
+			}
+			z.SetBit(i, b, !z.Bit(i, b))
+		}
+	}
+}
+
+func TestZAutoSelection(t *testing.T) {
+	m := randomModel(4, 8, 1)
+	if NewZSolver(m, 1, ZAuto).Method != ZEnumerate {
+		t.Fatal("ZAuto should enumerate at L=8")
+	}
+	m32 := randomModel(4, 32, 2)
+	if NewZSolver(m32, 1, ZAuto).Method != ZAlternate {
+		t.Fatal("ZAuto should alternate at L=32")
+	}
+}
+
+func TestRunZStepReportsChanges(t *testing.T) {
+	m := randomModel(5, 6, 600)
+	ds := dataset.GISTLike(20, 5, 2, 601)
+	z := retrieval.NewCodes(ds.N, 6) // all zeros: certainly changes
+	changed := RunZStep(m, ds, z, 0.5, ZEnumerate)
+	if changed == 0 {
+		t.Fatal("expected changes from all-zero init")
+	}
+	// Second run from the optimum must change nothing (enumeration is exact
+	// and deterministic).
+	if again := RunZStep(m, ds, z, 0.5, ZEnumerate); again != 0 {
+		t.Fatalf("re-solve changed %d codes; enumeration must be idempotent", again)
+	}
+}
+
+func TestZStepDecreasesEQ(t *testing.T) {
+	// Property: the Z step can only decrease E_Q for the same model and μ.
+	f := func(seed int64) bool {
+		m := randomModel(4, 5, seed)
+		ds := dataset.GISTLike(10, 4, 2, seed+1)
+		z := m.Encode(ds) // start from h(X)
+		before := m.EQ(ds, z, 0.7)
+		RunZStep(m, ds, z, 0.7, ZEnumerate)
+		after := m.EQ(ds, z, 0.7)
+		return after <= before+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitDecoderExactMinimises(t *testing.T) {
+	ds := dataset.GISTLike(60, 4, 3, 700)
+	m := randomModel(4, 6, 701)
+	z := m.Encode(ds)
+	if err := m.FitDecoderExact(ds, z, 0); err != nil {
+		t.Fatal(err)
+	}
+	opt := m.EQ(ds, z, 0)
+	// Any perturbation of the decoder must not improve the reconstruction.
+	m2 := m.Clone()
+	m2.Dec.W.Add(0, 0, 0.05)
+	if m2.EQ(ds, z, 0) < opt-1e-9 {
+		t.Fatal("exact decoder fit is not optimal")
+	}
+	m3 := m.Clone()
+	m3.Dec.C[1] += 0.05
+	if m3.EQ(ds, z, 0) < opt-1e-9 {
+		t.Fatal("exact decoder bias is not optimal")
+	}
+}
+
+func TestRunMACImprovesEBAOverInit(t *testing.T) {
+	ds := dataset.GISTLike(400, 8, 8, 800)
+	cfg := MACConfig{L: 8, Mu0: 1e-3, MuFactor: 2, Iters: 8, SVMEpochs: 3, Seed: 801}
+	m, z, stats := RunMAC(ds, cfg)
+	if m == nil || z == nil || len(stats) == 0 {
+		t.Fatal("missing outputs")
+	}
+	if stats[len(stats)-1].EBA > stats[0].EBA {
+		t.Fatalf("EBA did not improve: %v -> %v", stats[0].EBA, stats[len(stats)-1].EBA)
+	}
+}
+
+func TestRunMACDeterministic(t *testing.T) {
+	ds := dataset.GISTLike(150, 6, 4, 900)
+	cfg := MACConfig{L: 6, Mu0: 1e-3, MuFactor: 2, Iters: 4, SVMEpochs: 2, Seed: 901}
+	m1, z1, s1 := RunMAC(ds, cfg)
+	m2, z2, s2 := RunMAC(ds, cfg)
+	if !z1.Equal(z2) {
+		t.Fatal("codes differ between identical runs")
+	}
+	if len(s1) != len(s2) || s1[len(s1)-1].EQ != s2[len(s2)-1].EQ {
+		t.Fatal("stats differ between identical runs")
+	}
+	if vec.MaxAbsDiff(m1.Dec.W, m2.Dec.W) != 0 {
+		t.Fatal("decoders differ between identical runs")
+	}
+}
+
+func TestRunMACStopsWhenConverged(t *testing.T) {
+	// Tiny, well-clustered problem: MAC should hit the Z-fixed-point rule
+	// before exhausting a long schedule.
+	ds := dataset.GISTLike(80, 4, 2, 1000)
+	cfg := MACConfig{L: 4, Mu0: 1, MuFactor: 4, Iters: 40, SVMEpochs: 4, Seed: 1001}
+	_, _, stats := RunMAC(ds, cfg)
+	if len(stats) == 40 {
+		t.Log("warning: MAC used the full schedule (no convergence on this seed)")
+	}
+	last := stats[len(stats)-1]
+	if last.Stopped && last.ZChanged != 0 {
+		t.Fatal("Stopped set but Z still changing without validation")
+	}
+}
+
+func TestRunMACValidationEarlyStop(t *testing.T) {
+	ds := dataset.GISTLike(300, 8, 6, 1100)
+	queries := dataset.GISTLike(30, 8, 6, 1100)
+	truth := make([][]int, 30)
+	for q := 0; q < 30; q++ {
+		truth[q] = []int{0} // placeholder replaced below
+	}
+	truthFull := make([][]int, 30)
+	for q := 0; q < 30; q++ {
+		truthFull[q] = topEuclidean(ds, queries.Point(q, nil), 20)
+	}
+	val := &Validation{Base: ds, Queries: queries, Truth: truthFull, K: 20}
+	cfg := MACConfig{L: 8, Mu0: 1e-3, MuFactor: 2, Iters: 10, SVMEpochs: 2, Seed: 1101, Validation: val}
+	_, _, stats := RunMAC(ds, cfg)
+	for _, st := range stats {
+		if math.IsNaN(st.Precision) {
+			t.Fatal("validation precision not recorded")
+		}
+	}
+	_ = truth
+}
+
+func topEuclidean(ds *dataset.Dataset, q []float64, k int) []int {
+	return retrieval.TopKEuclidean(ds, q, k)
+}
+
+func TestMACPrecisionBeatsInitTPCA(t *testing.T) {
+	// The headline claim of the BA paper: MAC-trained hashes beat the tPCA
+	// initialisation on retrieval precision.
+	ds := dataset.GISTLike(500, 16, 10, 1200)
+	queries := dataset.GISTLike(50, 16, 10, 1200)
+	truth := make([][]int, queries.N)
+	for q := 0; q < queries.N; q++ {
+		truth[q] = retrieval.TopKEuclidean(ds, queries.Point(q, nil), 50)
+	}
+	val := &Validation{Base: ds, Queries: queries, Truth: truth, K: 50}
+
+	cfg := MACConfig{L: 10, Mu0: 1e-4, MuFactor: 2, Iters: 12, SVMEpochs: 3, Seed: 1201}
+	m, _, _ := RunMAC(ds, cfg)
+	macScore := val.Score(m)
+
+	// tPCA baseline score via an encoder-less comparison: build codes from
+	// the same initialisation path.
+	initZ := initCodesTPCA(ds, 10, 1202)
+	// Retrieval with raw tPCA codes requires hashing queries with tPCA: use
+	// pca directly through the initialiser's interface — recompute here.
+	tp := fitTPCAForTest(ds, 10)
+	baseCodes := tp.Encode(ds)
+	qCodes := tp.Encode(queries)
+	retr := make([][]int, queries.N)
+	for q := 0; q < queries.N; q++ {
+		retr[q] = retrieval.TopKHamming(baseCodes, qCodes.Code(q), 50)
+	}
+	tpcaScore := retrieval.Precision(truth, retr)
+	t.Logf("MAC precision %.3f vs tPCA %.3f", macScore, tpcaScore)
+	if macScore < tpcaScore-0.02 {
+		t.Fatalf("MAC (%.3f) should not be clearly worse than tPCA (%.3f)", macScore, tpcaScore)
+	}
+	_ = initZ
+}
+
+// fitTPCAForTest fits the tPCA baseline hash used for comparison.
+func fitTPCAForTest(ds *dataset.Dataset, l int) *pca.TPCA {
+	return pca.FitTPCA(ds, l)
+}

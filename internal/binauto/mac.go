@@ -1,0 +1,220 @@
+package binauto
+
+import (
+	"math/rand"
+
+	"repro/internal/pca"
+	"repro/internal/retrieval"
+	"repro/internal/sgd"
+)
+
+// MACConfig parameterises the serial MAC algorithm of Fig. 1.
+type MACConfig struct {
+	L int // bits
+
+	// μ schedule: μ_i = Mu0·MuFactorⁱ for Iters iterations (§8.1 uses
+	// multiplicative schedules, e.g. μ0=1e-6, a=2 for SIFT).
+	Mu0      float64
+	MuFactor float64
+	Iters    int
+
+	// W step: per-bit SVM regularisation and the number of SGD passes used
+	// to "fit" each SVM in the serial W step. The decoder is fit exactly by
+	// least squares (Fig. 1) with DecLambda ridge.
+	SVMLambda float64
+	SVMEpochs int
+	DecLambda float64
+
+	ZMethod ZMethod
+	Seed    int64
+	Shuffle bool // shuffle sample order in the SVM SGD passes
+
+	// Optional validation-based early stopping (§3.1: "we stop iterating for
+	// a μ value ... when the precision of the hash function in a validation
+	// set decreases").
+	Validation *Validation
+
+	// Optional initial codes; when nil they come from truncated PCA on a
+	// subsample (§8.1).
+	InitZ *retrieval.Codes
+}
+
+func (c *MACConfig) fillDefaults() {
+	if c.Mu0 <= 0 {
+		c.Mu0 = 1e-4
+	}
+	if c.MuFactor <= 1 {
+		c.MuFactor = 2
+	}
+	if c.Iters <= 0 {
+		c.Iters = 10
+	}
+	if c.SVMEpochs <= 0 {
+		c.SVMEpochs = 3
+	}
+	if c.SVMLambda <= 0 {
+		c.SVMLambda = 1e-5
+	}
+}
+
+// IterStats records the per-iteration learning-curve quantities plotted in
+// Figs. 7–9 and 11.
+type IterStats struct {
+	Iter      int
+	Mu        float64
+	EQ        float64
+	EBA       float64
+	Precision float64 // NaN when no validation set is configured
+	ZChanged  int     // codes changed in the Z step
+	Stopped   bool    // stopping criterion fired at this iteration
+}
+
+// Validation bundles what is needed to measure retrieval precision (or
+// recall) during training.
+type Validation struct {
+	Base    sgd.Points // points to index (their codes form the database)
+	Queries sgd.Points
+	Truth   [][]int // exact Euclidean neighbours per query
+	K       int     // retrieved set size k
+
+	// UseRecall switches the score to recall@K with Truth[q][0] as the true
+	// nearest neighbour (the SIFT-1B protocol, §8.4).
+	UseRecall bool
+}
+
+// Score computes the configured retrieval quality of the model's hash.
+func (v *Validation) Score(m *Model) float64 {
+	base := m.Encode(v.Base)
+	qc := m.Encode(v.Queries)
+	if v.UseRecall {
+		trueNN := make([]int, len(v.Truth))
+		for q := range v.Truth {
+			trueNN[q] = v.Truth[q][0]
+		}
+		return retrieval.RecallAtR(base, qc, trueNN, []int{v.K})[0]
+	}
+	retr := make([][]int, qc.N)
+	for q := 0; q < qc.N; q++ {
+		retr[q] = retrieval.TopKHamming(base, qc.Code(q), v.K)
+	}
+	return retrieval.Precision(v.Truth, retr)
+}
+
+// TrainWStepSerial performs the serial W step of Fig. 1 on (pts, z): each of
+// the L per-bit SVMs is auto-tuned and trained for cfg.SVMEpochs SGD passes,
+// and the decoder is replaced by the exact least-squares fit.
+func TrainWStepSerial(m *Model, pts sgd.Points, z *retrieval.Codes, cfg *MACConfig, rng *rand.Rand) error {
+	n := pts.NumPoints()
+	buf := make([]float64, m.D())
+	for l := 0; l < m.L(); l++ {
+		label := bitLabel(z, l)
+		e := m.Enc[l]
+		e.AutoTune(pts, label)
+		for ep := 0; ep < cfg.SVMEpochs; ep++ {
+			e.TrainPass(pts, label, sgd.Order(n, cfg.Shuffle, rng), buf)
+		}
+	}
+	return m.FitDecoderExact(pts, z, cfg.DecLambda)
+}
+
+// bitLabel returns the ±1 label view of bit l of z.
+func bitLabel(z *retrieval.Codes, l int) func(i int) float64 {
+	return func(i int) float64 {
+		if z.Bit(i, l) {
+			return 1
+		}
+		return -1
+	}
+}
+
+// RunMAC trains a binary autoencoder with the serial MAC algorithm of Fig. 1
+// and returns the model, the final codes and the learning curve. Stopping
+// follows the paper: stop early when the Z step changes nothing and
+// Z = h(X) (the constraints are satisfied, so the finite-μ fixed point has
+// been reached), or when validation precision drops below its best value.
+func RunMAC(pts sgd.Points, cfg MACConfig) (*Model, *retrieval.Codes, []IterStats) {
+	cfg.fillDefaults()
+	d := len(pts.Point(0, nil))
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	var z *retrieval.Codes
+	if cfg.InitZ != nil {
+		z = cfg.InitZ.Clone()
+	} else {
+		z = initCodesTPCA(pts, cfg.L, rng.Int63())
+	}
+	m := NewModel(d, cfg.L, cfg.SVMLambda)
+
+	var stats []IterStats
+	bestScore := -1.0
+	mu := cfg.Mu0
+	for it := 0; it < cfg.Iters; it++ {
+		if err := TrainWStepSerial(m, pts, z, &cfg, rng); err != nil {
+			panic("binauto: decoder fit failed: " + err.Error())
+		}
+		changed := RunZStep(m, pts, z, mu, cfg.ZMethod)
+
+		st := IterStats{Iter: it, Mu: mu, ZChanged: changed}
+		st.EQ = m.EQ(pts, z, mu)
+		st.EBA = m.EBA(pts)
+		if cfg.Validation != nil {
+			st.Precision = cfg.Validation.Score(m)
+		}
+		// Stop when Z is a fixed point and satisfies the constraints.
+		if changed == 0 && codesEqualHash(m, pts, z) {
+			st.Stopped = true
+			stats = append(stats, st)
+			break
+		}
+		// Validation early stopping.
+		if cfg.Validation != nil {
+			if st.Precision < bestScore {
+				st.Stopped = true
+				stats = append(stats, st)
+				break
+			}
+			if st.Precision > bestScore {
+				bestScore = st.Precision
+			}
+		}
+		stats = append(stats, st)
+		mu *= cfg.MuFactor
+	}
+	return m, z, stats
+}
+
+// codesEqualHash reports whether z equals h(X) everywhere.
+func codesEqualHash(m *Model, pts sgd.Points, z *retrieval.Codes) bool {
+	buf := make([]float64, m.D())
+	for i := 0; i < pts.NumPoints(); i++ {
+		x := pts.Point(i, buf)
+		for l := range m.Enc {
+			if z.Bit(i, l) != m.Enc[l].Predict(x) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// initCodesTPCA builds the paper's initial codes: truncated PCA fit on a
+// subsample and binarised (§8.1).
+func initCodesTPCA(pts sgd.Points, l int, seed int64) *retrieval.Codes {
+	n := pts.NumPoints()
+	sample := pts
+	const maxSample = 2000
+	if n > maxSample {
+		idx := rand.New(rand.NewSource(seed)).Perm(n)[:maxSample]
+		sample = subsetPoints{pts, idx}
+	}
+	h := pca.FitTPCA(sample, l)
+	return h.Encode(pts)
+}
+
+type subsetPoints struct {
+	p   sgd.Points
+	idx []int
+}
+
+func (s subsetPoints) NumPoints() int                       { return len(s.idx) }
+func (s subsetPoints) Point(i int, dst []float64) []float64 { return s.p.Point(s.idx[i], dst) }

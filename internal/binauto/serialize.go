@@ -1,0 +1,72 @@
+package binauto
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/svm"
+	"repro/internal/vec"
+)
+
+// modelJSON is the on-disk form of a trained binary autoencoder.
+type modelJSON struct {
+	L   int         `json:"l"`
+	D   int         `json:"d"`
+	Enc []encJSON   `json:"encoder"`
+	Dec decoderJSON `json:"decoder"`
+}
+
+type encJSON struct {
+	W []float64 `json:"w"`
+	B float64   `json:"b"`
+}
+
+type decoderJSON struct {
+	W [][]float64 `json:"w"` // L rows of D
+	C []float64   `json:"c"`
+}
+
+// Save writes the model as JSON.
+func (m *Model) Save(w io.Writer) error {
+	out := modelJSON{L: m.L(), D: m.D()}
+	for _, e := range m.Enc {
+		out.Enc = append(out.Enc, encJSON{W: e.W, B: e.B})
+	}
+	for l := 0; l < m.L(); l++ {
+		out.Dec.W = append(out.Dec.W, m.Dec.W.Row(l))
+	}
+	out.Dec.C = m.Dec.C
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// Load reads a model previously written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var in modelJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("binauto: decode model: %w", err)
+	}
+	if in.L <= 0 || in.D <= 0 || len(in.Enc) != in.L || len(in.Dec.W) != in.L || len(in.Dec.C) != in.D {
+		return nil, fmt.Errorf("binauto: malformed model (L=%d D=%d)", in.L, in.D)
+	}
+	m := &Model{Dec: NewDecoder(in.L, in.D)}
+	for _, e := range in.Enc {
+		if len(e.W) != in.D {
+			return nil, fmt.Errorf("binauto: encoder width %d, want %d", len(e.W), in.D)
+		}
+		lin := svm.NewLinear(in.D, 0)
+		copy(lin.W, e.W)
+		lin.B = e.B
+		m.Enc = append(m.Enc, lin)
+	}
+	for l := 0; l < in.L; l++ {
+		if len(in.Dec.W[l]) != in.D {
+			return nil, fmt.Errorf("binauto: decoder row width %d, want %d", len(in.Dec.W[l]), in.D)
+		}
+		copy(m.Dec.W.Row(l), in.Dec.W[l])
+	}
+	m.Dec.C = vec.Clone(in.Dec.C)
+	return m, nil
+}

@@ -1,0 +1,48 @@
+package binauto
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ds := dataset.GISTLike(120, 6, 4, 21)
+	m, _, _ := RunMAC(ds, MACConfig{L: 5, Mu0: 1e-3, Iters: 3, SVMEpochs: 2, Seed: 21})
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.L() != m.L() || back.D() != m.D() {
+		t.Fatal("shape lost")
+	}
+	// The loaded model must produce identical codes and reconstructions.
+	a, b := m.Encode(ds), back.Encode(ds)
+	if !a.Equal(b) {
+		t.Fatal("codes differ after round trip")
+	}
+	if m.EBA(ds) != back.EBA(ds) {
+		t.Fatal("EBA differs after round trip")
+	}
+}
+
+func TestLoadRejectsMalformed(t *testing.T) {
+	cases := []string{
+		``,
+		`{"l":0,"d":3}`,
+		`{"l":2,"d":3,"encoder":[{"w":[1,2,3],"b":0}],"decoder":{"w":[[1,2,3],[4,5,6]],"c":[0,0,0]}}`, // one encoder for L=2
+		`{"l":1,"d":3,"encoder":[{"w":[1,2],"b":0}],"decoder":{"w":[[1,2,3]],"c":[0,0,0]}}`,           // encoder width mismatch
+		`{"l":1,"d":3,"encoder":[{"w":[1,2,3],"b":0}],"decoder":{"w":[[1,2]],"c":[0,0,0]}}`,           // decoder row width mismatch
+	}
+	for i, c := range cases {
+		if _, err := Load(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}

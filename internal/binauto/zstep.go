@@ -1,0 +1,302 @@
+package binauto
+
+import (
+	"math"
+	"math/bits"
+
+	"repro/internal/retrieval"
+	"repro/internal/sgd"
+	"repro/internal/vec"
+)
+
+// ZMethod selects how the per-point binary proximal operator
+//
+//	min_{z ∈ {0,1}^L}  ‖x − f(z)‖² + μ‖z − h(x)‖²
+//
+// is solved (§3.1): exactly by enumeration for small L, or approximately by
+// alternating optimisation over bits initialised from the truncated relaxed
+// solution for larger L.
+type ZMethod int
+
+const (
+	// ZAuto picks ZEnumerate when L <= EnumLimit, ZAlternate otherwise —
+	// the paper's policy ("enumeration for SIFT-10K and SIFT-1M, alternating
+	// optimisation otherwise").
+	ZAuto ZMethod = iota
+	// ZEnumerate searches all 2^L codes exactly, walking a Gray code so each
+	// candidate costs O(D).
+	ZEnumerate
+	// ZAlternate solves the relaxed problem in [0,1]^L, truncates, then
+	// alternates single-bit flips to a local minimum.
+	ZAlternate
+)
+
+// EnumLimit is the largest L for which ZAuto enumerates. 2^16 candidates per
+// point matches the paper's use of enumeration at L=16.
+const EnumLimit = 16
+
+// ZSolver solves the Z step for a fixed model and μ. Constructing it factors
+// the L×L system of the relaxed initialisation once, so per-point solves are
+// O(L²) + the bit-flip passes.
+type ZSolver struct {
+	Model  *Model
+	Mu     float64
+	Method ZMethod
+
+	bSqNorm []float64     // ‖B_l‖², l = 0..L-1
+	chol    *vec.Cholesky // factor of (WWᵀ + μI), for the relaxed init
+	// scratch
+	h    []bool
+	r    []float64
+	rhs  []float64
+	zRel []float64
+	xmc  []float64
+}
+
+// NewZSolver prepares a solver for the given model and penalty value.
+func NewZSolver(m *Model, mu float64, method ZMethod) *ZSolver {
+	l, d := m.L(), m.D()
+	if method == ZAuto {
+		if l <= EnumLimit {
+			method = ZEnumerate
+		} else {
+			method = ZAlternate
+		}
+	}
+	if method == ZEnumerate && l > 24 {
+		panic("binauto: enumeration is exponential in L; use ZAlternate for L > 24")
+	}
+	if l > 64 {
+		panic("binauto: code length limited to 64 bits (one packed word)")
+	}
+	s := &ZSolver{
+		Model: m, Mu: mu, Method: method,
+		bSqNorm: make([]float64, l),
+		h:       make([]bool, l),
+		r:       make([]float64, d),
+		rhs:     make([]float64, l),
+		zRel:    make([]float64, l),
+		xmc:     make([]float64, d),
+	}
+	for i := 0; i < l; i++ {
+		s.bSqNorm[i] = vec.SqNorm(m.Dec.W.Row(i))
+	}
+	if method == ZAlternate {
+		// G = W·Wᵀ + μI (L×L), SPD for μ > 0.
+		g := vec.NewMatrix(l, l)
+		for i := 0; i < l; i++ {
+			for j := i; j < l; j++ {
+				v := vec.Dot(m.Dec.W.Row(i), m.Dec.W.Row(j))
+				g.Set(i, j, v)
+				g.Set(j, i, v)
+			}
+		}
+		jitter := mu
+		if jitter <= 0 {
+			jitter = 1e-8
+		}
+		g.AddScaledIdentity(jitter)
+		ch, err := vec.NewCholesky(g)
+		if err != nil {
+			g.AddScaledIdentity(1e-6 * (1 + vec.Norm(g.Data)))
+			ch, err = vec.NewCholesky(g)
+			if err != nil {
+				panic("binauto: relaxed Z system not factorisable")
+			}
+		}
+		s.chol = ch
+	}
+	return s
+}
+
+// Solve optimises code i of z for input x in place. It returns true when the
+// code changed. Not safe for concurrent use; create one solver per goroutine.
+func (s *ZSolver) Solve(x []float64, z *retrieval.Codes, i int) bool {
+	s.Model.EncodePoint(x, s.h)
+	switch s.Method {
+	case ZEnumerate:
+		return s.solveEnum(x, z, i)
+	default:
+		return s.solveAlt(x, z, i)
+	}
+}
+
+// solveEnum walks all 2^L codes in Gray-code order, maintaining the residual
+// r = x − c − Σ_l z_l B_l incrementally so each candidate costs O(D).
+func (s *ZSolver) solveEnum(x []float64, z *retrieval.Codes, i int) bool {
+	m := s.Model
+	l := m.L()
+	d := m.D()
+	// Start at z = 0.
+	for j := 0; j < d; j++ {
+		s.r[j] = x[j] - m.Dec.C[j]
+	}
+	err := vec.SqNorm(s.r)
+	ham := 0
+	for b := 0; b < l; b++ {
+		if s.h[b] {
+			ham++ // z_b = 0 differs from h_b = 1
+		}
+	}
+	var cur uint64 // current code, bit b = z_b
+	best := cur
+	bestObj := err + s.Mu*float64(ham)
+
+	total := uint64(1) << uint(l)
+	for k := uint64(1); k < total; k++ {
+		flip := bits.TrailingZeros64(k) // Gray code flips this bit
+		row := m.Dec.W.Row(flip)
+		on := cur&(1<<uint(flip)) == 0 // flipping 0→1?
+		if on {
+			// r' = r − B; ‖r'‖² = ‖r‖² − 2 r·B + ‖B‖².
+			err += -2*vec.Dot(s.r, row) + s.bSqNorm[flip]
+			vec.Axpy(-1, row, s.r)
+			cur |= 1 << uint(flip)
+		} else {
+			err += 2*vec.Dot(s.r, row) + s.bSqNorm[flip]
+			vec.Axpy(1, row, s.r)
+			cur &^= 1 << uint(flip)
+		}
+		nowOne := cur&(1<<uint(flip)) != 0
+		if nowOne == s.h[flip] {
+			ham--
+		} else {
+			ham++
+		}
+		if obj := err + s.Mu*float64(ham); obj < bestObj {
+			bestObj = obj
+			best = cur
+		}
+	}
+	return s.store(best, z, i)
+}
+
+// solveAlt initialises z from the truncated relaxed solution
+// (WWᵀ + μI)z = W(x−c) + μh and then alternates single-bit flips until no
+// flip decreases the objective (§3.1).
+func (s *ZSolver) solveAlt(x []float64, z *retrieval.Codes, i int) bool {
+	m := s.Model
+	l, d := m.L(), m.D()
+	for j := 0; j < d; j++ {
+		s.xmc[j] = x[j] - m.Dec.C[j]
+	}
+	// rhs = W(x−c) + μh.
+	for b := 0; b < l; b++ {
+		s.rhs[b] = vec.Dot(m.Dec.W.Row(b), s.xmc)
+		if s.h[b] {
+			s.rhs[b] += s.Mu
+		}
+	}
+	s.chol.Solve(s.rhs, s.zRel)
+	var cur uint64
+	for b := 0; b < l; b++ {
+		if s.zRel[b] >= 0.5 {
+			cur |= 1 << uint(b)
+		}
+	}
+	// Residual for the truncated code.
+	copy(s.r, s.xmc)
+	for b := 0; b < l; b++ {
+		if cur&(1<<uint(b)) != 0 {
+			vec.Axpy(-1, m.Dec.W.Row(b), s.r)
+		}
+	}
+	const maxPasses = 32
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		for b := 0; b < l; b++ {
+			row := m.Dec.W.Row(b)
+			isOne := cur&(1<<uint(b)) != 0
+			var dErr float64
+			if isOne {
+				// flipping 1→0: r' = r + B.
+				dErr = 2*vec.Dot(s.r, row) + s.bSqNorm[b]
+			} else {
+				dErr = -2*vec.Dot(s.r, row) + s.bSqNorm[b]
+			}
+			// Flipping breaks a match with h (+μ) or restores one (−μ).
+			dHam := s.Mu
+			if isOne != s.h[b] {
+				dHam = -s.Mu
+			}
+			if dErr+dHam < -1e-12 {
+				if isOne {
+					vec.Axpy(1, row, s.r)
+					cur &^= 1 << uint(b)
+				} else {
+					vec.Axpy(-1, row, s.r)
+					cur |= 1 << uint(b)
+				}
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return s.store(cur, z, i)
+}
+
+// store writes the code and reports whether it changed.
+func (s *ZSolver) store(code uint64, z *retrieval.Codes, i int) bool {
+	l := s.Model.L()
+	changed := false
+	for b := 0; b < l; b++ {
+		v := code&(1<<uint(b)) != 0
+		if z.Bit(i, b) != v {
+			changed = true
+			z.SetBit(i, b, v)
+		}
+	}
+	return changed
+}
+
+// PointObjective evaluates ‖x − f(z_i)‖² + μ‖z_i − h(x)‖² for diagnostics and
+// tests.
+func PointObjective(m *Model, x []float64, z *retrieval.Codes, i int, mu float64) float64 {
+	rec := m.Dec.Reconstruct(z, i, nil)
+	obj := vec.SqDist(x, rec)
+	for l := range m.Enc {
+		if z.Bit(i, l) != m.Enc[l].Predict(x) {
+			obj += mu
+		}
+	}
+	return obj
+}
+
+// RunZStep runs the solver over every point of pts, returning how many codes
+// changed. This is the whole Z step of MAC; in ParMAC each machine calls it
+// on its own shard with no communication (§4.1).
+func RunZStep(m *Model, pts sgd.Points, z *retrieval.Codes, mu float64, method ZMethod) int {
+	s := NewZSolver(m, mu, method)
+	buf := make([]float64, m.D())
+	changed := 0
+	for i := 0; i < pts.NumPoints(); i++ {
+		if s.Solve(pts.Point(i, buf), z, i) {
+			changed++
+		}
+	}
+	return changed
+}
+
+// BruteForceZ solves one point by explicit search over all 2^L codes; test
+// oracle for the Gray-code enumeration.
+func BruteForceZ(m *Model, x []float64, mu float64) (uint64, float64) {
+	l := m.L()
+	if l > 20 {
+		panic("binauto: BruteForceZ limited to small L")
+	}
+	z := retrieval.NewCodes(1, l)
+	best := uint64(0)
+	bestObj := math.Inf(1)
+	for code := uint64(0); code < 1<<uint(l); code++ {
+		for b := 0; b < l; b++ {
+			z.SetBit(0, b, code&(1<<uint(b)) != 0)
+		}
+		if obj := PointObjective(m, x, z, 0, mu); obj < bestObj {
+			bestObj = obj
+			best = code
+		}
+	}
+	return best, bestObj
+}

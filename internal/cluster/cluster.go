@@ -1,0 +1,236 @@
+// Package cluster is the in-process message-passing fabric that replaces MPI
+// in this reproduction (paper §7 and appendix B). Each "machine" is a rank
+// with an inbox; sends are buffered and non-blocking like MPI_Bsend, receives
+// block like MPI_Recv and support tag filtering and MPI_ANY_SOURCE/ANY_TAG
+// wildcards. A cyclic barrier mirrors MPI_Barrier, and Bcast/AllGather mirror
+// the collectives listed in the paper's appendix B.
+//
+// Message and byte counters make the communication volume observable, which
+// is what the speedup analysis of §5 is about: ParMAC sends the entire model
+// only e+1 times per iteration and never sends data or coordinates.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// AnyTag matches any message tag in Recv (MPI_ANY_TAG).
+const AnyTag = -1
+
+// AnySource matches any sender in RecvFrom (MPI_ANY_SOURCE).
+const AnySource = -1
+
+// Message is a delivered payload with its envelope.
+type Message struct {
+	From    int
+	Tag     int
+	Payload any
+	Bytes   int // accounted size of the payload
+}
+
+// Network is the shared fabric connecting P ranks.
+type Network struct {
+	size    int
+	inboxes []chan Message
+	bar     *barrier
+
+	messages atomic.Int64
+	bytes    atomic.Int64
+	sentBy   []atomic.Int64
+}
+
+// DefaultInboxCapacity bounds in-flight messages per rank. ParMAC keeps at
+// most M submodels + P final-round copies in flight, so this is generous.
+const DefaultInboxCapacity = 1 << 14
+
+// NewNetwork creates a fabric with p ranks.
+func NewNetwork(p int) *Network {
+	if p <= 0 {
+		panic("cluster: need at least one rank")
+	}
+	n := &Network{
+		size:    p,
+		inboxes: make([]chan Message, p),
+		bar:     newBarrier(p),
+		sentBy:  make([]atomic.Int64, p),
+	}
+	for i := range n.inboxes {
+		n.inboxes[i] = make(chan Message, DefaultInboxCapacity)
+	}
+	return n
+}
+
+// Size returns the number of ranks.
+func (n *Network) Size() int { return n.size }
+
+// Comm returns the communicator endpoint for the given rank. Each endpoint
+// must be used by a single goroutine (as one MPI process would).
+func (n *Network) Comm(rank int) *Comm {
+	if rank < 0 || rank >= n.size {
+		panic(fmt.Sprintf("cluster: rank %d out of range [0,%d)", rank, n.size))
+	}
+	return &Comm{net: n, rank: rank}
+}
+
+// Stats is a snapshot of fabric-wide communication counters.
+type Stats struct {
+	Messages int64
+	Bytes    int64
+}
+
+// Stats returns the message and byte totals so far.
+func (n *Network) Stats() Stats {
+	return Stats{Messages: n.messages.Load(), Bytes: n.bytes.Load()}
+}
+
+// SentBy returns how many messages the given rank has sent.
+func (n *Network) SentBy(rank int) int64 { return n.sentBy[rank].Load() }
+
+// Comm is one rank's endpoint: its inbox plus a local queue of messages that
+// were received but did not match the requested tag (MPI implementations do
+// the same internally to honour tag matching).
+type Comm struct {
+	net     *Network
+	rank    int
+	pending []Message
+}
+
+// Rank returns this endpoint's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the fabric size.
+func (c *Comm) Size() int { return c.net.size }
+
+// Send delivers payload to rank `to` with the given tag, accounting `bytes`
+// toward the communication counters. Like MPI_Bsend it does not wait for the
+// receiver; it only blocks if the destination inbox is full (bounded
+// buffering).
+func (c *Comm) Send(to, tag int, payload any, bytes int) {
+	if to < 0 || to >= c.net.size {
+		panic(fmt.Sprintf("cluster: Send to invalid rank %d", to))
+	}
+	c.net.messages.Add(1)
+	c.net.bytes.Add(int64(bytes))
+	c.net.sentBy[c.rank].Add(1)
+	c.net.inboxes[to] <- Message{From: c.rank, Tag: tag, Payload: payload, Bytes: bytes}
+}
+
+// Recv blocks until a message with the given tag (or any, with AnyTag)
+// arrives and returns it. Messages with other tags are queued for later
+// Recv calls, preserving arrival order per tag.
+func (c *Comm) Recv(tag int) Message { return c.RecvFrom(AnySource, tag) }
+
+// RecvFrom is Recv restricted to a particular sender (AnySource for any).
+func (c *Comm) RecvFrom(from, tag int) Message {
+	if m, ok := c.takePending(from, tag); ok {
+		return m
+	}
+	for {
+		m := <-c.net.inboxes[c.rank]
+		if matches(m, from, tag) {
+			return m
+		}
+		c.pending = append(c.pending, m)
+	}
+}
+
+// TryRecv returns a matching message if one is immediately available.
+func (c *Comm) TryRecv(tag int) (Message, bool) {
+	if m, ok := c.takePending(AnySource, tag); ok {
+		return m, true
+	}
+	for {
+		select {
+		case m := <-c.net.inboxes[c.rank]:
+			if matches(m, AnySource, tag) {
+				return m, true
+			}
+			c.pending = append(c.pending, m)
+		default:
+			return Message{}, false
+		}
+	}
+}
+
+func (c *Comm) takePending(from, tag int) (Message, bool) {
+	for i, m := range c.pending {
+		if matches(m, from, tag) {
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			return m, true
+		}
+	}
+	return Message{}, false
+}
+
+func matches(m Message, from, tag int) bool {
+	return (tag == AnyTag || m.Tag == tag) && (from == AnySource || m.From == from)
+}
+
+// Barrier blocks until every rank has called it (MPI_Barrier). It is cyclic:
+// it can be reused any number of times.
+func (c *Comm) Barrier() { c.net.bar.await() }
+
+// Bcast sends payload from root to every other rank under the given tag and
+// returns the (possibly received) value at every rank, mirroring MPI_Bcast.
+func (c *Comm) Bcast(root, tag int, payload any, bytes int) any {
+	if c.rank == root {
+		for r := 0; r < c.net.size; r++ {
+			if r != root {
+				c.Send(r, tag, payload, bytes)
+			}
+		}
+		return payload
+	}
+	return c.RecvFrom(root, tag).Payload
+}
+
+// AllGather collects one payload from every rank at every rank, mirroring
+// MPI_Allgather. The result is indexed by rank.
+func (c *Comm) AllGather(tag int, payload any, bytes int) []any {
+	for r := 0; r < c.net.size; r++ {
+		if r != c.rank {
+			c.Send(r, tag, payload, bytes)
+		}
+	}
+	out := make([]any, c.net.size)
+	out[c.rank] = payload
+	for i := 0; i < c.net.size-1; i++ {
+		m := c.Recv(tag)
+		out[m.From] = m.Payload
+	}
+	return out
+}
+
+// barrier is a reusable (cyclic) barrier.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	size  int
+	count int
+	gen   int
+}
+
+func newBarrier(size int) *barrier {
+	b := &barrier{size: size}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.size {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}

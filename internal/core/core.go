@@ -1,0 +1,752 @@
+// Package core implements ParMAC (§4), the paper's contribution: a
+// distributed computation model for the method of auxiliary coordinates.
+//
+// P machines hold disjoint data shards (and the auxiliary coordinates of
+// their points, which never move). In the W step, M independent submodels
+// circulate through the machines in a ring: each machine trains every
+// submodel that passes through on its local shard (implicitly running SGD
+// with per-machine minibatches), then forwards it to its successor. After e
+// epochs (visits to every machine) plus one final round of communication,
+// every machine holds a copy of the whole updated model. In the Z step, each
+// machine updates the coordinates of its own points with no communication at
+// all. Only model parameters ever cross the network.
+//
+// The engine runs each machine as a goroutine over the MPI-like fabric of
+// internal/cluster and supports the ParMAC extensions of §4.3: per-epoch ring
+// shuffling, load balancing via unequal shards, streaming (machines can be
+// added and retired between iterations) and fault tolerance (a machine can
+// die mid-W-step; lost submodels are recovered from the redundant copies on
+// their predecessor machines, and routes are repaired to skip the dead
+// machine).
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"repro/internal/cluster"
+)
+
+// Shard is a machine-local slice of the data and its auxiliary coordinates.
+// The engine never looks inside; it only schedules work against it.
+type Shard interface {
+	NumPoints() int
+}
+
+// Submodel is one independent unit of the W step (a hash function, a decoder
+// group, a hidden unit's weight vector...). Submodels own their parameters
+// and any optimiser state (e.g. SGD schedules), which therefore circulate
+// with them.
+type Submodel interface {
+	// ID identifies the submodel; IDs must be 0..M-1.
+	ID() int
+	// TrainOn performs one stochastic pass over the shard, visiting points
+	// in the given order. This is the "process it" of the paper's
+	// asynchronous W step.
+	TrainOn(shard Shard, order []int)
+	// Clone returns a deep copy, used for the per-machine redundant copies
+	// that give ParMAC its fault tolerance (§4.3).
+	Clone() Submodel
+	// Bytes is the serialised parameter size, accounted as t_c^W traffic.
+	Bytes() int
+}
+
+// Problem adapts a specific MAC algorithm (binary autoencoder, deep net, …)
+// to the engine.
+type Problem interface {
+	// Submodels returns the circulating submodels with IDs 0..M-1. The
+	// engine trains these objects in place across iterations.
+	Submodels() []Submodel
+	// NumShards reports how many shards exist; shard i belongs to machine i.
+	NumShards() int
+	// Shard returns shard i.
+	Shard(i int) Shard
+	// ZStep updates the auxiliary coordinates of shard i given a complete
+	// model (indexed by submodel ID) and returns how many coordinates
+	// changed. It runs concurrently across machines and must only touch
+	// shard-local state.
+	ZStep(shard int, model []Submodel) int
+}
+
+// IterationHook is implemented by problems that advance per-iteration state
+// (e.g. the μ schedule of the BA). It is called once, before each iteration's
+// W step, from the coordinator goroutine; the engine's message causality
+// makes the update visible to all machines.
+type IterationHook interface {
+	OnIterationStart(iter int)
+}
+
+// ModelSyncHook is implemented by problems that cache references to their
+// circulating submodels (for evaluation between iterations). Fault recovery
+// replaces a lost submodel with a recovered clone, so the cached references
+// can go stale; the engine calls OnModelSync with the authoritative set at
+// the end of every iteration.
+type ModelSyncHook interface {
+	OnModelSync(model []Submodel)
+}
+
+// FailMode selects how an injected failure behaves.
+type FailMode int
+
+const (
+	// FailNone disables failure injection.
+	FailNone FailMode = iota
+	// FailDropToken kills the machine while it is training a submodel: the
+	// machine's memory (including that submodel's current state) is lost and
+	// the submodel must be recovered from the redundant copy held by its
+	// predecessor in the ring (§4.3 "revert to the previously updated copy").
+	FailDropToken
+)
+
+// FailureInjection schedules a machine death for tests and the
+// fault-tolerance experiments.
+type FailureInjection struct {
+	Mode      FailMode
+	Rank      int // machine to kill
+	Iteration int // iteration (0-based) during whose W step it dies
+	AfterTok  int // die when about to process its AfterTok-th token
+}
+
+// Config parameterises the engine.
+type Config struct {
+	P       int  // initial number of machines
+	Epochs  int  // e: circulation epochs per W step
+	Within  int  // within-machine passes per visit (§4.2); default 1
+	Shuffle bool // shuffle the ring per epoch and within-machine order (§4.3)
+	Seed    int64
+
+	// Replicas makes machines store deep copies of passing submodels rather
+	// than sharing pointers. Required for fault tolerance; costs memory,
+	// exactly the paper's "in-built redundance".
+	Replicas bool
+
+	// MaxMachines reserves fabric ranks for machines added later by
+	// streaming. Defaults to P.
+	MaxMachines int
+
+	Fail FailureInjection
+}
+
+func (c *Config) fillDefaults() {
+	if c.P <= 0 {
+		c.P = 1
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 1
+	}
+	if c.Within <= 0 {
+		c.Within = 1
+	}
+	if c.MaxMachines < c.P {
+		c.MaxMachines = c.P
+	}
+	if c.Fail.Mode != FailNone && !c.Replicas {
+		panic("core: fault tolerance requires Config.Replicas")
+	}
+}
+
+// FailureEvent records a recovered machine death.
+type FailureEvent struct {
+	Rank      int
+	LostToken int // submodel ID being trained when the machine died, -1 if none
+	Recovered bool
+	FromRank  int // machine whose replica restored the lost submodel, -1
+}
+
+// IterationResult summarises one ParMAC iteration (one W step + one Z step).
+type IterationResult struct {
+	Iter          int
+	ZChanged      int   // coordinates changed across all shards
+	ModelMessages int64 // submodel hops in the W step
+	ModelBytes    int64 // bytes of model parameters moved
+	FixMessages   int   // post-W repairs of stale/missing local copies
+	Failures      []FailureEvent
+	AliveMachines int
+}
+
+// message tags on the fabric.
+const (
+	tagWStart = iota
+	tagToken
+	tagFinished
+	tagDead
+	tagBounced
+	tagRescue
+	tagRescueReply
+	tagWDone
+	tagWAck
+	tagFix
+	tagZGo
+	tagZDone
+	tagShutdown
+)
+
+// token is a circulating submodel with its itinerary.
+type token struct {
+	sm      Submodel
+	id      int
+	step    int   // itinerary positions completed
+	version int   // training visits completed
+	route   []int // machine rank per itinerary position
+	train   int   // positions < train are training visits
+}
+
+// deathNotice is the metadata a dying machine manages to emit.
+type deathNotice struct {
+	rank    int
+	tok     *token // intact token being bounced, nil when lost
+	lostID  int    // submodel ID lost with the machine's memory, -1 if none
+	lostTok *token // itinerary metadata of the lost token (parameters gone)
+}
+
+type wStartMsg struct {
+	iter    int
+	train   int // training visit count e·P_alive
+	within  int
+	shuffle bool
+}
+
+type ackEntry struct {
+	id      int
+	version int // -1 when the machine holds an aliased pointer (no replicas)
+}
+
+type zDoneMsg struct{ changed int }
+
+type fixMsg struct {
+	id int
+	sm Submodel
+}
+
+// localEntry is a machine's copy of a submodel as of some version.
+type localEntry struct {
+	sm      Submodel
+	version int
+}
+
+// Engine runs ParMAC.
+type Engine struct {
+	cfg  Config
+	prob Problem
+
+	net   *cluster.Network
+	coord *cluster.Comm
+
+	machines []*machine
+	alive    []atomic.Bool
+
+	submodels []Submodel // authoritative model between iterations
+	versions  []int      // training visits accumulated per submodel
+
+	rng  *rand.Rand
+	iter int
+	hops atomic.Int64 // submodel forwards during the current W step
+
+	shutdown bool
+}
+
+type machine struct {
+	eng   *Engine
+	rank  int
+	comm  *cluster.Comm
+	shard int
+	local map[int]localEntry
+	rng   *rand.Rand
+
+	// failure injection state for the current iteration
+	failAfter int // -1: never
+	processed int
+	dead      bool
+}
+
+// New creates an engine for the problem. Machine i is attached to
+// prob.Shard(i); prob.NumShards() must be >= cfg.P.
+func New(prob Problem, cfg Config) *Engine {
+	cfg.fillDefaults()
+	if prob.NumShards() < cfg.P {
+		panic(fmt.Sprintf("core: %d shards for %d machines", prob.NumShards(), cfg.P))
+	}
+	e := &Engine{
+		cfg:  cfg,
+		prob: prob,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+	}
+	e.net = cluster.NewNetwork(cfg.MaxMachines + 1)
+	e.coord = e.net.Comm(cfg.MaxMachines)
+	e.machines = make([]*machine, cfg.MaxMachines)
+	e.alive = make([]atomic.Bool, cfg.MaxMachines)
+
+	e.submodels = prob.Submodels()
+	for i, sm := range e.submodels {
+		if sm.ID() != i {
+			panic("core: submodel IDs must be 0..M-1 in order")
+		}
+	}
+	e.versions = make([]int, len(e.submodels))
+
+	for r := 0; r < cfg.P; r++ {
+		e.spawnMachine(r, r)
+	}
+	return e
+}
+
+func (e *Engine) spawnMachine(rank, shard int) {
+	m := &machine{
+		eng:       e,
+		rank:      rank,
+		comm:      e.net.Comm(rank),
+		shard:     shard,
+		local:     make(map[int]localEntry),
+		rng:       rand.New(rand.NewSource(e.cfg.Seed + 1000003*int64(rank+1))),
+		failAfter: -1,
+	}
+	e.machines[rank] = m
+	e.alive[rank].Store(true)
+	go m.run()
+}
+
+// M returns the number of submodels.
+func (e *Engine) M() int { return len(e.submodels) }
+
+// Model returns the authoritative submodels (valid between iterations).
+func (e *Engine) Model() []Submodel { return e.submodels }
+
+// AliveRanks lists the machines currently in the ring.
+func (e *Engine) AliveRanks() []int {
+	var out []int
+	for r := range e.machines {
+		if e.machines[r] != nil && e.alive[r].Load() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// AddMachine attaches a new machine serving prob.Shard(shard) and returns its
+// rank. It implements the streaming extension: "adding it to the circular
+// topology simply requires connecting it between any two machines" (§4.3).
+// Call between iterations.
+func (e *Engine) AddMachine(shard int) int {
+	for r := range e.machines {
+		if e.machines[r] == nil {
+			if shard >= e.prob.NumShards() {
+				panic("core: AddMachine shard out of range")
+			}
+			e.spawnMachine(r, shard)
+			return r
+		}
+	}
+	panic("core: no free ranks; raise Config.MaxMachines")
+}
+
+// Retire removes a machine from the ring between iterations ("to remove
+// machine p, we do so in the Z step, by reconnecting machine p−1 → machine
+// p+1 and returning machine p to the cluster", §4.3). Its shard's data are no
+// longer visited.
+func (e *Engine) Retire(rank int) {
+	if e.machines[rank] == nil || !e.alive[rank].Load() {
+		panic("core: Retire of absent machine")
+	}
+	e.alive[rank].Store(false)
+	e.coordSendTo(rank, tagShutdown, nil)
+	e.machines[rank] = nil
+}
+
+// Shutdown terminates all machine goroutines. The engine is unusable after.
+func (e *Engine) Shutdown() {
+	if e.shutdown {
+		return
+	}
+	e.shutdown = true
+	for _, m := range e.machines {
+		if m != nil {
+			e.coordSendTo(m.rank, tagShutdown, nil)
+		}
+	}
+}
+
+func (e *Engine) coordSendTo(rank, tag int, payload any) {
+	e.coord.Send(rank, tag, payload, 0)
+}
+
+// Iterate runs one full ParMAC iteration (W step then Z step) and returns its
+// summary.
+func (e *Engine) Iterate() IterationResult {
+	if hook, ok := e.prob.(IterationHook); ok {
+		hook.OnIterationStart(e.iter)
+	}
+	res := IterationResult{Iter: e.iter}
+	statsBefore := e.net.Stats()
+
+	aliveList := e.AliveRanks()
+	p := len(aliveList)
+	if p == 0 {
+		panic("core: no machines alive")
+	}
+	trainVisits := e.cfg.Epochs * p
+	routes := e.buildRoutes(aliveList, trainVisits)
+
+	// Arm failure injection.
+	for _, m := range e.machines {
+		if m == nil {
+			continue
+		}
+		m.failAfter = -1
+		m.processed = 0
+		if e.cfg.Fail.Mode != FailNone && e.cfg.Fail.Rank == m.rank && e.cfg.Fail.Iteration == e.iter {
+			m.failAfter = e.cfg.Fail.AfterTok
+		}
+	}
+
+	// Start the W step on all alive machines.
+	start := wStartMsg{iter: e.iter, train: trainVisits, within: e.cfg.Within, shuffle: e.cfg.Shuffle}
+	for _, r := range aliveList {
+		e.coordSendTo(r, tagWStart, start)
+	}
+	// Inject the initial tokens at their home machines.
+	tokens := make([]*token, len(e.submodels))
+	for i, sm := range e.submodels {
+		tok := &token{sm: sm, id: i, version: e.versions[i], route: routes[i], train: trainVisits}
+		tokens[i] = tok
+		// Placement is free: submodel i starts resident at its home machine.
+		e.coord.Send(tok.route[0], tagToken, tok, 0)
+	}
+
+	// Supervise until all tokens finish.
+	finished := 0
+	finalVersion := make([]int, len(e.submodels))
+	for finished < len(e.submodels) {
+		msg := e.coord.Recv(cluster.AnyTag)
+		switch msg.Tag {
+		case tagFinished:
+			tok := msg.Payload.(*token)
+			e.submodels[tok.id] = tok.sm
+			finalVersion[tok.id] = tok.version
+			finished++
+		case tagDead:
+			n := msg.Payload.(deathNotice)
+			ev := e.handleDeath(n)
+			res.Failures = append(res.Failures, ev)
+		case tagBounced:
+			tok := msg.Payload.(*token)
+			if !e.forwardFromCoord(tok) {
+				e.submodels[tok.id] = tok.sm
+				finalVersion[tok.id] = tok.version
+				finished++
+			}
+		default:
+			panic(fmt.Sprintf("core: coordinator got unexpected tag %d", msg.Tag))
+		}
+	}
+	copy(e.versions, finalVersion)
+
+	// Drain the W step: every alive machine acks with its local inventory;
+	// repair stale or missing copies so the Z step sees the full model.
+	aliveNow := e.AliveRanks()
+	for _, r := range aliveNow {
+		e.coordSendTo(r, tagWDone, nil)
+	}
+	for range aliveNow {
+		msg := e.coord.Recv(tagWAck)
+		entries := msg.Payload.([]ackEntry)
+		have := make(map[int]int, len(entries))
+		for _, en := range entries {
+			have[en.id] = en.version
+		}
+		for id, sm := range e.submodels {
+			v, ok := have[id]
+			stale := !ok || (v >= 0 && v != finalVersion[id])
+			if stale {
+				var payload Submodel
+				if e.cfg.Replicas {
+					payload = sm.Clone()
+				} else {
+					payload = sm
+				}
+				e.coord.Send(msg.From, tagFix, fixMsg{id: id, sm: payload}, sm.Bytes())
+				res.FixMessages++
+			}
+		}
+	}
+
+	// Z step: no communication between machines (§4.1).
+	for _, r := range aliveNow {
+		e.coordSendTo(r, tagZGo, nil)
+	}
+	for range aliveNow {
+		msg := e.coord.Recv(tagZDone)
+		res.ZChanged += msg.Payload.(zDoneMsg).changed
+	}
+
+	statsAfter := e.net.Stats()
+	res.ModelBytes = statsAfter.Bytes - statsBefore.Bytes
+	res.ModelMessages = e.hops.Swap(0)
+	res.AliveMachines = len(aliveNow)
+	if hook, ok := e.prob.(ModelSyncHook); ok {
+		hook.OnModelSync(e.submodels)
+	}
+	e.iter++
+	return res
+}
+
+// Run performs iters iterations and returns their results.
+func (e *Engine) Run(iters int) []IterationResult {
+	out := make([]IterationResult, 0, iters)
+	for i := 0; i < iters; i++ {
+		out = append(out, e.Iterate())
+	}
+	return out
+}
+
+// buildRoutes constructs each token's itinerary: e epochs of training visits
+// plus the final round of P−1 copy-only hops (§4.1). Homes are dealt
+// round-robin; with Shuffle, each epoch uses a fresh random cyclic ring
+// ("reorganise the circular topology randomly while still circular", §4.3).
+func (e *Engine) buildRoutes(alive []int, trainVisits int) [][]int {
+	p := len(alive)
+	// succ[epoch][rank] = successor rank in that epoch's ring.
+	epochs := e.cfg.Epochs
+	succ := make([]map[int]int, epochs+1)
+	for ep := 0; ep <= epochs; ep++ {
+		order := make([]int, p)
+		copy(order, alive)
+		if e.cfg.Shuffle {
+			e.rng.Shuffle(p, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		}
+		s := make(map[int]int, p)
+		for i, r := range order {
+			s[r] = order[(i+1)%p]
+		}
+		succ[ep] = s
+	}
+	routes := make([][]int, len(e.submodels))
+	for id := range e.submodels {
+		home := alive[id%p]
+		route := make([]int, 0, trainVisits+p-1)
+		cur := home
+		for v := 0; v < trainVisits+p-1; v++ {
+			route = append(route, cur)
+			ep := (v + 1) / p
+			if ep > epochs {
+				ep = epochs
+			}
+			cur = succ[ep][cur]
+		}
+		routes[id] = route
+	}
+	return routes
+}
+
+// handleDeath processes a machine failure: mark it dead, reroute the bounced
+// token if intact, or recover the lost submodel from its predecessor's
+// replica (§4.3).
+func (e *Engine) handleDeath(n deathNotice) FailureEvent {
+	e.alive[n.rank].Store(false)
+	ev := FailureEvent{Rank: n.rank, LostToken: n.lostID, FromRank: -1}
+	if n.tok != nil {
+		// Intact token bounced by the dying machine.
+		if !e.forwardFromCoord(n.tok) {
+			e.coord.Send(e.coord.Rank(), tagFinished, n.tok, 0) // self-deliver
+		}
+	}
+	if n.lostTok != nil {
+		tok := n.lostTok
+		// Find the most recent previous alive machine on its route and ask
+		// for its replica of the submodel.
+		rescued := false
+		for pos := tok.step - 1; pos >= 0 && !rescued; pos-- {
+			r := tok.route[pos]
+			if r == n.rank || !e.alive[r].Load() {
+				continue
+			}
+			e.coordSendTo(r, tagRescue, tok.id)
+			reply := e.coord.RecvFrom(r, tagRescueReply)
+			if reply.Payload != nil {
+				entry := reply.Payload.(localEntry)
+				tok.sm = entry.sm
+				tok.version = entry.version
+				rescued = true
+				ev.Recovered = true
+				ev.FromRank = r
+			}
+		}
+		if !rescued {
+			// No replica anywhere upstream: restart from the authoritative
+			// pre-iteration state.
+			tok.sm = e.submodels[tok.id].Clone()
+			tok.version = e.versions[tok.id]
+			ev.Recovered = true
+			ev.FromRank = -1
+		}
+		// Resume the itinerary past the dead machine.
+		if !e.forwardFromCoord(tok) {
+			e.coord.Send(e.coord.Rank(), tagFinished, tok, 0)
+		}
+	}
+	return ev
+}
+
+// forwardFromCoord advances tok.step to the next alive itinerary position and
+// sends the token there. It reports false when no alive position remains (the
+// token is finished).
+func (e *Engine) forwardFromCoord(tok *token) bool {
+	for pos := tok.step; pos < len(tok.route); pos++ {
+		if e.alive[tok.route[pos]].Load() {
+			tok.step = pos
+			e.hops.Add(1)
+			e.coord.Send(tok.route[pos], tagToken, tok, tok.sm.Bytes())
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// machine goroutine
+// ---------------------------------------------------------------------------
+
+func (m *machine) run() {
+	for {
+		msg := m.comm.Recv(cluster.AnyTag)
+		switch msg.Tag {
+		case tagWStart:
+			if m.runWStep(msg.Payload.(wStartMsg)) {
+				return
+			}
+		case tagFix:
+			fix := msg.Payload.(fixMsg)
+			m.local[fix.id] = localEntry{sm: fix.sm, version: -2}
+		case tagZGo:
+			m.runZStep()
+		case tagShutdown:
+			return
+		case tagToken:
+			// A token raced a shutdown/retire; bounce it to the coordinator.
+			m.comm.Send(m.coordRank(), tagBounced, msg.Payload, 0)
+		case tagRescue:
+			m.handleRescue(msg.Payload.(int))
+		default:
+			panic(fmt.Sprintf("core: machine %d got unexpected tag %d", m.rank, msg.Tag))
+		}
+	}
+}
+
+func (m *machine) coordRank() int { return m.eng.cfg.MaxMachines }
+
+func (m *machine) handleRescue(id int) {
+	if entry, ok := m.local[id]; ok {
+		m.comm.Send(m.coordRank(), tagRescueReply, entry, 0)
+	} else {
+		m.comm.Send(m.coordRank(), tagRescueReply, nil, 0)
+	}
+}
+
+// runWStep is the paper's asynchronous W-step loop: "extract a submodel from
+// the queue, process it (except in epoch e+1) and send it to the machine's
+// successor" (§4.1).
+// runWStep returns true when the machine was shut down mid-step.
+func (m *machine) runWStep(cfg wStartMsg) bool {
+	shard := m.eng.prob.Shard(m.shard)
+	for {
+		msg := m.comm.Recv(cluster.AnyTag)
+		switch msg.Tag {
+		case tagToken:
+			tok := msg.Payload.(*token)
+			if m.dead {
+				m.comm.Send(m.coordRank(), tagBounced, tok, 0)
+				continue
+			}
+			if m.failAfter >= 0 && m.processed >= m.failAfter {
+				// The machine dies now. Its memory — including the submodel
+				// it was about to train — is gone; only the failure
+				// detection metadata escapes.
+				m.dead = true
+				m.eng.alive[m.rank].Store(false)
+				meta := *tok
+				meta.sm = nil
+				m.comm.Send(m.coordRank(), tagDead,
+					deathNotice{rank: m.rank, lostID: tok.id, lostTok: &meta}, 0)
+				continue
+			}
+			m.processToken(tok, shard, cfg)
+		case tagRescue:
+			m.handleRescue(msg.Payload.(int))
+		case tagWDone:
+			m.comm.Send(m.coordRank(), tagWAck, m.inventory(), 0)
+			return false
+		case tagShutdown:
+			return true
+		default:
+			panic(fmt.Sprintf("core: machine %d got tag %d during W step", m.rank, msg.Tag))
+		}
+	}
+}
+
+func (m *machine) processToken(tok *token, shard Shard, cfg wStartMsg) {
+	if tok.step < tok.train {
+		for pass := 0; pass < cfg.within; pass++ {
+			order := trainOrder(shard.NumPoints(), cfg.shuffle, m.rng)
+			tok.sm.TrainOn(shard, order)
+		}
+		tok.version++
+	}
+	tok.step++
+	m.processed++
+	m.record(tok)
+	// Forward to the next alive itinerary position, skipping dead machines
+	// ("should not visit p anymore", §4.3).
+	for pos := tok.step; pos < len(tok.route); pos++ {
+		if m.eng.alive[tok.route[pos]].Load() {
+			tok.step = pos
+			m.eng.hops.Add(1)
+			m.comm.Send(tok.route[pos], tagToken, tok, tok.sm.Bytes())
+			return
+		}
+	}
+	m.comm.Send(m.coordRank(), tagFinished, tok, 0)
+}
+
+// record stores this machine's copy of the submodel: a deep clone when
+// replicas are on (fault tolerance), a shared pointer otherwise.
+func (m *machine) record(tok *token) {
+	if m.eng.cfg.Replicas {
+		m.local[tok.id] = localEntry{sm: tok.sm.Clone(), version: tok.version}
+	} else {
+		m.local[tok.id] = localEntry{sm: tok.sm, version: -1}
+	}
+}
+
+func (m *machine) inventory() []ackEntry {
+	out := make([]ackEntry, 0, len(m.local))
+	for id, entry := range m.local {
+		out = append(out, ackEntry{id: id, version: entry.version})
+	}
+	return out
+}
+
+func (m *machine) runZStep() {
+	model := make([]Submodel, m.eng.M())
+	for id := range model {
+		entry, ok := m.local[id]
+		if !ok {
+			panic(fmt.Sprintf("core: machine %d missing submodel %d at Z step", m.rank, id))
+		}
+		model[id] = entry.sm
+	}
+	changed := m.eng.prob.ZStep(m.shard, model)
+	m.comm.Send(m.coordRank(), tagZDone, zDoneMsg{changed: changed}, 0)
+}
+
+// trainOrder mirrors sgd.Order without importing it (the engine stays
+// decoupled from the trainers).
+func trainOrder(n int, shuffle bool, rng *rand.Rand) []int {
+	if !shuffle {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	return rng.Perm(n)
+}

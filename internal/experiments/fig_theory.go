@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/speedup"
+)
+
+// Fig. 4: the typical theoretical speedup curve, N=10⁶, M=512, e=1, t_r^W=1,
+// t_r^Z=5, t_c^W=10³ (ρ1=0.0025, ρ2=0.0005, ρ=0.003). The paper's plot runs
+// P up to 2000 and marks the divisors of M and the global maximum P*₁.
+func init() {
+	register(Experiment{
+		ID:    "fig4",
+		Title: "typical theoretical speedup curve S(P)",
+		Run: func(cfg RunConfig) []*Table {
+			p := speedup.Params{N: 1e6, M: 512, E: 1, TWr: 1, TZr: 5, TWc: 1e3}
+			t := &Table{
+				ID:      "fig4",
+				Title:   "S(P) for N=1e6, M=512, e=1, tWr=1, tZr=5, tWc=1e3",
+				Columns: []string{"P", "S(P)", "regime"},
+			}
+			ps := []int{1, 32, 64, 128, 256, 512, 640, 768, 1024, 1131, 1280, 1600, 2000}
+			if cfg.Quick {
+				ps = []int{1, 64, 512, 1131, 2000}
+			}
+			for _, pp := range ps {
+				regime := "P<=M (near perfect)"
+				if pp > p.M {
+					regime = "P>M (harmonic)"
+				}
+				t.AddRow(d(pp), f1(p.Speedup(float64(pp))), regime)
+			}
+			pStar, sStar := p.GlobalMax()
+			t.Notes = append(t.Notes,
+				fmt.Sprintf("rho1=%.4f rho2=%.4f rho=%.4f (paper: 0.0025/0.0005/0.003)", p.Rho1(), p.Rho2(), p.Rho()),
+				fmt.Sprintf("global max S*=%.1f at P*=%.0f (> M=512, as the paper predicts)", sStar, pStar),
+			)
+			return []*Table{t}
+		},
+	})
+}
+
+// Fig. 5: the grid of theoretical speedup curves: N=50000, e∈{1,8},
+// t_c^W∈{1,100,1000}, t_r^Z∈{1,100}, M∈{1..512}, P∈1..128.
+func init() {
+	register(Experiment{
+		ID:    "fig5",
+		Title: "theoretical speedup grid over (e, tWc, tZr, M)",
+		Run: func(cfg RunConfig) []*Table {
+			ms := []int{1, 4, 16, 64, 256, 512}
+			ps := []int{1, 32, 64, 96, 128}
+			type combo struct {
+				e        int
+				tWc, tZr float64
+			}
+			combos := []combo{
+				{1, 1, 1}, {8, 1, 1},
+				{1, 1, 100}, {8, 1, 100},
+				{1, 100, 1}, {8, 100, 1},
+				{1, 1000, 100}, {8, 1000, 100},
+			}
+			if cfg.Quick {
+				combos = combos[:2]
+				ms = []int{4, 64}
+			}
+			var out []*Table
+			for _, c := range combos {
+				t := &Table{
+					ID:      "fig5",
+					Title:   fmt.Sprintf("S(P): N=50000, e=%d, tWc=%g, tZr=%g (tWr=1)", c.e, c.tWc, c.tZr),
+					Columns: append([]string{"M \\ P"}, cols(ps)...),
+				}
+				for _, m := range ms {
+					p := speedup.Params{N: 50000, M: m, E: c.e, TWr: 1, TWc: c.tWc, TZr: c.tZr}
+					row := []string{d(m)}
+					for _, pp := range ps {
+						row = append(row, f1(p.Speedup(float64(pp))))
+					}
+					t.AddRow(row...)
+				}
+				t.Notes = append(t.Notes, "near-perfect speedups require M >= P; large tWc or e and small tZr flatten the curves (paper §5.3)")
+				out = append(out, t)
+			}
+			return out
+		},
+	})
+}
+
+func cols(ps []int) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = fmt.Sprintf("P=%d", p)
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+// Package linreg implements the linear decoder submodels of the binary
+// autoencoder (§3.1): D independent linear regressors f(z) = W·z + c mapping
+// codes back to inputs. It provides both the exact least-squares fit used by
+// serial MAC's W step (normal equations solved by Cholesky) and the SGD
+// trainer used by ParMAC's circulating submodels, with the same step-size
+// schedule and η0 auto-tuning as the SVM trainer.
+package linreg
+
+import (
+	"repro/internal/sgd"
+	"repro/internal/vec"
+)
+
+// Regressor is a single-output linear map y = w·x + b with optional ridge
+// regularisation λ/2·‖w‖². It carries its SGD schedule like svm.Linear.
+type Regressor struct {
+	W      []float64
+	B      float64
+	Lambda float64
+	Sched  *sgd.Schedule
+}
+
+// NewRegressor creates a zero-initialised regressor for d-dimensional inputs.
+func NewRegressor(d int, lambda float64) *Regressor {
+	return &Regressor{W: make([]float64, d), Lambda: lambda, Sched: sgd.NewSchedule(1e-2, lambda)}
+}
+
+// Predict returns w·x + b.
+func (r *Regressor) Predict(x []float64) float64 { return vec.Dot(r.W, x) + r.B }
+
+// Clone returns a deep copy including schedule state.
+func (r *Regressor) Clone() *Regressor {
+	c := &Regressor{W: vec.Clone(r.W), B: r.B, Lambda: r.Lambda}
+	s := *r.Sched
+	c.Sched = &s
+	return c
+}
+
+// Bytes returns the serialised parameter size.
+func (r *Regressor) Bytes() int { return 8 * (len(r.W) + 1) }
+
+// Step performs one SGD update on (x, target) with learning rate eta for the
+// squared loss ½(w·x+b−t)².
+func (r *Regressor) Step(x []float64, target, eta float64) {
+	err := r.Predict(x) - target
+	vec.Scale(1-eta*r.Lambda, r.W)
+	vec.Axpy(-eta*err, x, r.W)
+	r.B -= eta * err
+}
+
+// TrainPass runs one stochastic pass over order, advancing the schedule.
+func (r *Regressor) TrainPass(pts sgd.Points, target func(i int) float64, order []int, buf []float64) {
+	for _, i := range order {
+		x := pts.Point(i, buf)
+		r.Step(x, target(i), r.Sched.Next())
+	}
+}
+
+// AvgLoss returns the mean squared error (plus the ridge term) over idx
+// (all points when nil).
+func (r *Regressor) AvgLoss(pts sgd.Points, target func(i int) float64, idx []int) float64 {
+	if idx == nil {
+		idx = sgd.Order(pts.NumPoints(), false, nil)
+	}
+	if len(idx) == 0 {
+		return 0
+	}
+	buf := make([]float64, len(r.W))
+	var loss float64
+	for _, i := range idx {
+		x := pts.Point(i, buf)
+		e := r.Predict(x) - target(i)
+		loss += 0.5 * e * e
+	}
+	return loss/float64(len(idx)) + 0.5*r.Lambda*vec.SqNorm(r.W)
+}
+
+// AutoTune calibrates η0 on the leading sample (paper §8.1) without touching
+// the parameters.
+func (r *Regressor) AutoTune(pts sgd.Points, target func(i int) float64) {
+	n := sgd.TuningSampleSize(pts.NumPoints())
+	if n == 0 {
+		return
+	}
+	sample := sgd.Order(n, false, nil)
+	buf := make([]float64, len(r.W))
+	best := sgd.TuneEta0(1e-5, 4, 4, func(eta0 float64) float64 {
+		trial := r.Clone()
+		trial.Sched = sgd.NewSchedule(eta0, r.Lambda)
+		trial.TrainPass(pts, target, sample, buf)
+		return trial.AvgLoss(pts, target, sample)
+	})
+	r.Sched.Eta0 = best
+	r.Sched.Lambda = r.Lambda
+	r.Sched.SetSteps(0)
+}
+
+// MultiOutput is a multi-target linear map y = Wᵀx + c fit in one shot by the
+// exact least-squares solve of serial MAC's W step: W = (X̃ᵀX̃+λI)⁻¹ X̃ᵀY with
+// a bias column folded in.
+type MultiOutput struct {
+	W *vec.Matrix // dIn×dOut
+	C []float64   // dOut
+}
+
+// FitExact solves the (ridge) least-squares problem mapping the rows of x to
+// the rows of y. lambda > 0 guards against rank deficiency; lambda == 0 uses
+// a tiny jitter retry if the Gram matrix is singular.
+func FitExact(x, y *vec.Matrix, lambda float64) (*MultiOutput, error) {
+	if x.Rows != y.Rows {
+		panic("linreg: FitExact row mismatch")
+	}
+	n, dIn, dOut := x.Rows, x.Cols, y.Cols
+	// Augment with a bias column: X̃ = [X 1].
+	xt := vec.NewMatrix(n, dIn+1)
+	for i := 0; i < n; i++ {
+		copy(xt.Row(i), x.Row(i))
+		xt.Set(i, dIn, 1)
+	}
+	gram := xt.Gram()
+	gram.AddScaledIdentity(lambda)
+	ch, err := vec.NewCholesky(gram)
+	if err != nil {
+		gram.AddScaledIdentity(1e-8 * float64(n))
+		ch, err = vec.NewCholesky(gram)
+		if err != nil {
+			return nil, err
+		}
+	}
+	xty := vec.TMul(xt, y) // (dIn+1)×dOut
+	sol := ch.SolveMatrix(xty)
+	w := vec.NewMatrix(dIn, dOut)
+	for i := 0; i < dIn; i++ {
+		copy(w.Row(i), sol.Row(i))
+	}
+	return &MultiOutput{W: w, C: vec.Clone(sol.Row(dIn))}, nil
+}
+
+// Predict writes Wᵀx + c into dst (allocated when nil).
+func (m *MultiOutput) Predict(x, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, len(m.C))
+	}
+	copy(dst, m.C)
+	for i, xi := range x {
+		vec.Axpy(xi, m.W.Row(i), dst)
+	}
+	return dst
+}

@@ -1,0 +1,215 @@
+package linreg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/sgd"
+	"repro/internal/vec"
+)
+
+// linearProblem builds targets t = w*·x + b* + noise.
+func linearProblem(n, d int, noise float64, seed int64) (*dataset.Dataset, []float64, []float64, float64) {
+	rng := rand.New(rand.NewSource(seed))
+	x := vec.NewMatrix(n, d)
+	x.FillGaussian(rng, 1)
+	wStar := make([]float64, d)
+	for j := range wStar {
+		wStar[j] = rng.NormFloat64()
+	}
+	bStar := rng.NormFloat64()
+	targets := make([]float64, n)
+	for i := 0; i < n; i++ {
+		targets[i] = vec.Dot(wStar, x.Row(i)) + bStar + rng.NormFloat64()*noise
+	}
+	return dataset.FromMatrix(x), targets, wStar, bStar
+}
+
+func TestSGDRecoversLinearMap(t *testing.T) {
+	ds, targets, wStar, bStar := linearProblem(2000, 4, 0, 1)
+	tgt := func(i int) float64 { return targets[i] }
+	r := NewRegressor(4, 0)
+	r.AutoTune(ds, tgt)
+	rng := rand.New(rand.NewSource(2))
+	buf := make([]float64, 4)
+	for e := 0; e < 20; e++ {
+		r.TrainPass(ds, tgt, sgd.Order(ds.N, true, rng), buf)
+	}
+	for j := range wStar {
+		if math.Abs(r.W[j]-wStar[j]) > 0.05 {
+			t.Fatalf("w[%d]=%v want %v", j, r.W[j], wStar[j])
+		}
+	}
+	if math.Abs(r.B-bStar) > 0.05 {
+		t.Fatalf("b=%v want %v", r.B, bStar)
+	}
+}
+
+func TestStepMovesTowardTarget(t *testing.T) {
+	r := NewRegressor(1, 0)
+	before := r.AvgLossPoint([]float64{1}, 3)
+	r.Step([]float64{1}, 3, 0.1)
+	after := r.AvgLossPoint([]float64{1}, 3)
+	if after >= before {
+		t.Fatalf("loss did not decrease: %v -> %v", before, after)
+	}
+}
+
+// AvgLossPoint is a tiny test helper via the public API.
+func (r *Regressor) AvgLossPoint(x []float64, target float64) float64 {
+	e := r.Predict(x) - target
+	return 0.5 * e * e
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	r := NewRegressor(2, 0.1)
+	r.W[0] = 1
+	c := r.Clone()
+	c.W[0] = 2
+	c.Sched.Next()
+	if r.W[0] != 1 || r.Sched.Steps() != 0 {
+		t.Fatal("Clone must not share state")
+	}
+}
+
+func TestAutoTunePreservesParameters(t *testing.T) {
+	ds, targets, _, _ := linearProblem(300, 3, 0.1, 3)
+	tgt := func(i int) float64 { return targets[i] }
+	r := NewRegressor(3, 1e-4)
+	r.W[1] = 0.25
+	r.AutoTune(ds, tgt)
+	if r.W[1] != 0.25 {
+		t.Fatal("AutoTune changed parameters")
+	}
+	if r.Sched.Eta0 <= 0 {
+		t.Fatal("bad eta0")
+	}
+}
+
+func TestFitExactRecoversMap(t *testing.T) {
+	ds, targets, wStar, bStar := linearProblem(500, 5, 0, 4)
+	y := vec.NewMatrix(500, 1)
+	for i := range targets {
+		y.Set(i, 0, targets[i])
+	}
+	m, err := FitExact(ds.Matrix(), y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range wStar {
+		if math.Abs(m.W.At(j, 0)-wStar[j]) > 1e-8 {
+			t.Fatalf("W[%d]=%v want %v", j, m.W.At(j, 0), wStar[j])
+		}
+	}
+	if math.Abs(m.C[0]-bStar) > 1e-8 {
+		t.Fatalf("C=%v want %v", m.C[0], bStar)
+	}
+}
+
+func TestFitExactMultiOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n, dIn, dOut := 200, 3, 4
+	x := vec.NewMatrix(n, dIn)
+	x.FillGaussian(rng, 1)
+	wStar := vec.NewMatrix(dIn, dOut)
+	wStar.FillGaussian(rng, 1)
+	cStar := make([]float64, dOut)
+	for j := range cStar {
+		cStar[j] = rng.NormFloat64()
+	}
+	y := vec.NewMatrix(n, dOut)
+	for i := 0; i < n; i++ {
+		pred := make([]float64, dOut)
+		copy(pred, cStar)
+		for k := 0; k < dIn; k++ {
+			vec.Axpy(x.At(i, k), wStar.Row(k), pred)
+		}
+		copy(y.Row(i), pred)
+	}
+	m, err := FitExact(x, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vec.MaxAbsDiff(m.W, wStar) > 1e-8 {
+		t.Fatal("multi-output W not recovered")
+	}
+	// Predict must agree with targets.
+	got := m.Predict(x.Row(7), nil)
+	for j := range got {
+		if math.Abs(got[j]-y.At(7, j)) > 1e-8 {
+			t.Fatal("Predict wrong")
+		}
+	}
+}
+
+func TestFitExactRankDeficientFallsBackToJitter(t *testing.T) {
+	// Duplicate column makes X̃ᵀX̃ singular with λ=0; jitter retry must save it.
+	n := 50
+	x := vec.NewMatrix(n, 2)
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < n; i++ {
+		v := rng.NormFloat64()
+		x.Set(i, 0, v)
+		x.Set(i, 1, v)
+	}
+	y := vec.NewMatrix(n, 1)
+	for i := 0; i < n; i++ {
+		y.Set(i, 0, 2*x.At(i, 0))
+	}
+	m, err := FitExact(x, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := m.Predict(x.Row(0), nil)
+	if math.Abs(pred[0]-y.At(0, 0)) > 1e-3 {
+		t.Fatalf("prediction %v want %v", pred[0], y.At(0, 0))
+	}
+}
+
+func TestRidgeShrinksWeights(t *testing.T) {
+	ds, targets, _, _ := linearProblem(300, 4, 0.5, 7)
+	y := vec.NewMatrix(300, 1)
+	for i := range targets {
+		y.Set(i, 0, targets[i])
+	}
+	m0, err := FitExact(ds.Matrix(), y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := FitExact(ds.Matrix(), y, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n0 := vec.SqNorm(m0.W.Data)
+	n1 := vec.SqNorm(m1.W.Data)
+	if n1 >= n0 {
+		t.Fatalf("ridge did not shrink: %v vs %v", n1, n0)
+	}
+}
+
+func TestSGDMatchesExactOnEasyProblem(t *testing.T) {
+	ds, targets, _, _ := linearProblem(3000, 3, 0, 8)
+	tgt := func(i int) float64 { return targets[i] }
+	r := NewRegressor(3, 0)
+	r.AutoTune(ds, tgt)
+	rng := rand.New(rand.NewSource(9))
+	buf := make([]float64, 3)
+	for e := 0; e < 30; e++ {
+		r.TrainPass(ds, tgt, sgd.Order(ds.N, true, rng), buf)
+	}
+	y := vec.NewMatrix(ds.N, 1)
+	for i := range targets {
+		y.Set(i, 0, targets[i])
+	}
+	m, err := FitExact(ds.Matrix(), y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 3; j++ {
+		if math.Abs(r.W[j]-m.W.At(j, 0)) > 0.05 {
+			t.Fatalf("SGD w[%d]=%v exact=%v", j, r.W[j], m.W.At(j, 0))
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package macnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestALPenaltyReducesToQuadraticWithZeroMultipliers(t *testing.T) {
+	n := NewNet([]int{2, 4, 1})
+	n.InitRandom(rand.New(rand.NewSource(1)), 0.6)
+	xs, ys := toyRegression(20, 2)
+	c := NewCoordsFromForward(n, xs)
+	// Perturb coordinates so constraints are violated.
+	c.Z[0].Add(3, 1, 0.2)
+	lam := NewMultipliers(n, xs.Rows)
+	for _, mu := range []float64{0.5, 2} {
+		if math.Abs(ALPenalty(n, xs, ys, c, lam, mu)-PenaltyError(n, xs, ys, c, mu)) > 1e-12 {
+			t.Fatal("zero multipliers must give the quadratic penalty")
+		}
+	}
+}
+
+func TestALGradientMatchesFiniteDifference(t *testing.T) {
+	n := NewNet([]int{2, 3, 2, 1})
+	n.InitRandom(rand.New(rand.NewSource(3)), 0.7)
+	xs, ys := toyRegression(3, 4)
+	c := NewCoordsFromForward(n, xs)
+	lam := NewMultipliers(n, xs.Rows)
+	rng := rand.New(rand.NewSource(5))
+	for _, m := range lam.L {
+		for j := range m.Data {
+			m.Data[j] = rng.NormFloat64() * 0.3
+		}
+	}
+	mu := 0.4
+	i := 1
+	grads := [][]float64{make([]float64, 3), make([]float64, 2)}
+	zGradAL(n, xs.Row(i), ys.Row(i), c, lam, i, mu, grads)
+	const h = 1e-6
+	for layer := 0; layer < 2; layer++ {
+		z := c.Z[layer].Row(i)
+		for d := range z {
+			orig := z[d]
+			z[d] = orig + h
+			up := pointPenaltyAL(n, xs.Row(i), ys.Row(i), c, lam, i, mu)
+			z[d] = orig - h
+			dn := pointPenaltyAL(n, xs.Row(i), ys.Row(i), c, lam, i, mu)
+			z[d] = orig
+			fd := (up - dn) / (2 * h)
+			if math.Abs(fd-grads[layer][d]) > 1e-4*(1+math.Abs(fd)) {
+				t.Fatalf("layer %d dim %d: grad %v vs fd %v", layer, d, grads[layer][d], fd)
+			}
+		}
+	}
+}
+
+func TestUpdateMultipliersDirection(t *testing.T) {
+	n := NewNet([]int{2, 3, 1})
+	n.InitRandom(rand.New(rand.NewSource(6)), 0.5)
+	xs, _ := toyRegression(5, 7)
+	c := NewCoordsFromForward(n, xs)
+	c.Z[0].Add(2, 1, 0.5) // positive constraint violation at point 2, unit 1
+	lam := NewMultipliers(n, xs.Rows)
+	UpdateMultipliers(n, xs, c, lam, 2.0)
+	if got := lam.L[0].At(2, 1); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("λ update = %v, want μ·violation = 1.0", got)
+	}
+	// Unviolated constraints keep zero multipliers.
+	if lam.L[0].At(0, 0) != 0 {
+		t.Fatal("multiplier moved without violation")
+	}
+}
+
+func TestZStepPointALDecreasesObjective(t *testing.T) {
+	n := NewNet([]int{2, 4, 1})
+	n.InitRandom(rand.New(rand.NewSource(8)), 1)
+	xs, ys := toyRegression(8, 9)
+	c := NewCoordsFromForward(n, xs)
+	lam := NewMultipliers(n, xs.Rows)
+	rng := rand.New(rand.NewSource(10))
+	for j := range lam.L[0].Data {
+		lam.L[0].Data[j] = rng.NormFloat64() * 0.2
+	}
+	for i := 0; i < xs.Rows; i++ {
+		before := pointPenaltyAL(n, xs.Row(i), ys.Row(i), c, lam, i, 0.5)
+		after := ZStepPointAL(n, xs.Row(i), ys.Row(i), c, lam, i, 0.5, 15)
+		if after > before+1e-12 {
+			t.Fatalf("point %d: AL Z step increased objective %v -> %v", i, before, after)
+		}
+	}
+}
+
+func TestRunMACALReducesNestedError(t *testing.T) {
+	xs, ys := toyRegression(200, 11)
+	n := NewNet([]int{2, 6, 1})
+	n.InitRandom(rand.New(rand.NewSource(12)), 0.3)
+	before := n.NestedError(xs, ys)
+	stats := RunMACAL(n, xs, ys, MACConfig{Mu0: 2, Iters: 10, Eta: 1, WEpochs: 3, ZIters: 10, Seed: 12})
+	after := stats[len(stats)-1].Nested
+	t.Logf("AL nested error %v -> %v", before, after)
+	if after >= before {
+		t.Fatalf("AL MAC did not reduce the nested error: %v -> %v", before, after)
+	}
+}
+
+func TestALFeasibilityAtFixedMuBeatsQuadraticPenalty(t *testing.T) {
+	// The point of AL: at a FIXED μ, multiplier updates drive the constraint
+	// violation far lower than the plain quadratic penalty can.
+	xs, ys := toyRegression(150, 13)
+	mkNet := func() *Net {
+		n := NewNet([]int{2, 5, 1})
+		n.InitRandom(rand.New(rand.NewSource(14)), 0.3)
+		return n
+	}
+	const mu = 2.0
+	// Quadratic penalty at fixed μ (no schedule: MuFactor ignored by running
+	// RunMAC with MuFactor≈1).
+	qp := mkNet()
+	RunMAC(qp, xs, ys, MACConfig{Mu0: mu, MuFactor: 1.0000001, Iters: 12, Eta: 1, WEpochs: 3, ZIters: 10, Seed: 14})
+	cQP := NewCoordsFromForward(qp, xs)
+	_ = cQP // forward coords are feasible by construction; measure via a fresh Z pass
+	coordsQP := NewCoordsFromForward(qp, xs)
+	for i := 0; i < xs.Rows; i++ {
+		ZStepPoint(qp, xs.Row(i), ys.Row(i), coordsQP, i, mu, 10)
+	}
+	vQP := ConstraintViolation(qp, xs, coordsQP)
+
+	al := mkNet()
+	RunMACAL(al, xs, ys, MACConfig{Mu0: mu, Iters: 12, Eta: 1, WEpochs: 3, ZIters: 10, Seed: 14})
+	coordsAL := NewCoordsFromForward(al, xs)
+	lam := NewMultipliers(al, xs.Rows)
+	for it := 0; it < 3; it++ {
+		for i := 0; i < xs.Rows; i++ {
+			ZStepPointAL(al, xs.Row(i), ys.Row(i), coordsAL, lam, i, mu, 10)
+		}
+		UpdateMultipliers(al, xs, coordsAL, lam, mu)
+	}
+	vAL := ConstraintViolation(al, xs, coordsAL)
+	t.Logf("constraint violation: QP %v vs AL %v (fixed mu=%v)", vQP, vAL, mu)
+	if vAL > vQP*1.2 {
+		t.Fatalf("AL violation %v should not exceed QP %v at fixed mu", vAL, vQP)
+	}
+}

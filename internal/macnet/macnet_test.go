@@ -1,0 +1,211 @@
+package macnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/vec"
+)
+
+// toyRegression builds a smooth target y = σ-shaped function of x in (0,1).
+func toyRegression(n int, seed int64) (xs, ys *vec.Matrix) {
+	rng := rand.New(rand.NewSource(seed))
+	xs = vec.NewMatrix(n, 2)
+	ys = vec.NewMatrix(n, 1)
+	for i := 0; i < n; i++ {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		xs.Set(i, 0, a)
+		xs.Set(i, 1, b)
+		ys.Set(i, 0, Sigmoid(2*a-b))
+	}
+	return xs, ys
+}
+
+func TestForwardShapesAndRange(t *testing.T) {
+	n := NewNet([]int{3, 4, 2})
+	n.InitRandom(rand.New(rand.NewSource(1)), 0.5)
+	out := n.Forward([]float64{1, -1, 0.5}, nil)
+	if len(out) != 2 {
+		t.Fatalf("output dim %d", len(out))
+	}
+	for _, v := range out {
+		if v <= 0 || v >= 1 {
+			t.Fatalf("sigmoid output %v out of (0,1)", v)
+		}
+	}
+}
+
+func TestActivationsMatchForward(t *testing.T) {
+	n := NewNet([]int{2, 3, 3, 1})
+	n.InitRandom(rand.New(rand.NewSource(2)), 0.5)
+	x := []float64{0.3, -0.7}
+	hidden, out := n.Activations(x)
+	if len(hidden) != 2 {
+		t.Fatalf("hidden layers %d", len(hidden))
+	}
+	fw := n.Forward(x, nil)
+	if math.Abs(fw[0]-out[0]) > 1e-15 {
+		t.Fatal("Activations output disagrees with Forward")
+	}
+}
+
+func TestPenaltyEqualsNestedAtForwardCoords(t *testing.T) {
+	// With z = activations, the constraints hold and E_Q = nested error for
+	// any μ (the warm-start property of eq. 5/6).
+	n := NewNet([]int{2, 4, 1})
+	n.InitRandom(rand.New(rand.NewSource(3)), 0.8)
+	xs, ys := toyRegression(30, 4)
+	c := NewCoordsFromForward(n, xs)
+	nested := n.NestedError(xs, ys)
+	for _, mu := range []float64{0.1, 1, 100} {
+		eq := PenaltyError(n, xs, ys, c, mu)
+		if math.Abs(eq-nested) > 1e-9 {
+			t.Fatalf("mu=%v: EQ %v != nested %v", mu, eq, nested)
+		}
+	}
+}
+
+func TestZStepPointDecreasesObjective(t *testing.T) {
+	n := NewNet([]int{2, 5, 1})
+	n.InitRandom(rand.New(rand.NewSource(5)), 1)
+	xs, ys := toyRegression(10, 6)
+	c := NewCoordsFromForward(n, xs)
+	mu := 0.5
+	for i := 0; i < xs.Rows; i++ {
+		before := pointPenalty(n, xs.Row(i), ys.Row(i), c, i, mu)
+		after := ZStepPoint(n, xs.Row(i), ys.Row(i), c, i, mu, 20)
+		if after > before+1e-12 {
+			t.Fatalf("point %d: Z step increased objective %v -> %v", i, before, after)
+		}
+	}
+}
+
+func TestZStepGradientMatchesFiniteDifference(t *testing.T) {
+	n := NewNet([]int{2, 3, 2, 1})
+	n.InitRandom(rand.New(rand.NewSource(7)), 0.7)
+	xs, ys := toyRegression(3, 8)
+	c := NewCoordsFromForward(n, xs)
+	mu := 0.3
+	i := 1
+	grads := [][]float64{make([]float64, 3), make([]float64, 2)}
+	zGrad(n, xs.Row(i), ys.Row(i), c, i, mu, grads)
+	const h = 1e-6
+	for layer := 0; layer < 2; layer++ {
+		z := c.Z[layer].Row(i)
+		for d := range z {
+			orig := z[d]
+			z[d] = orig + h
+			up := pointPenalty(n, xs.Row(i), ys.Row(i), c, i, mu)
+			z[d] = orig - h
+			dn := pointPenalty(n, xs.Row(i), ys.Row(i), c, i, mu)
+			z[d] = orig
+			fd := (up - dn) / (2 * h)
+			if math.Abs(fd-grads[layer][d]) > 1e-4*(1+math.Abs(fd)) {
+				t.Fatalf("layer %d dim %d: grad %v vs fd %v", layer, d, grads[layer][d], fd)
+			}
+		}
+	}
+}
+
+func TestUnitSGDStepReducesUnitLoss(t *testing.T) {
+	n := NewNet([]int{2, 1}) // single unit
+	n.InitRandom(rand.New(rand.NewSource(9)), 0.1)
+	in := []float64{1, -0.5}
+	target := 0.9
+	lossOf := func() float64 {
+		out := n.Forward(in, nil)
+		d := out[0] - target
+		return d * d
+	}
+	before := lossOf()
+	for i := 0; i < 50; i++ {
+		n.UnitSGDStep(UnitRef{0, 0}, in, target, 1)
+	}
+	if lossOf() >= before {
+		t.Fatalf("unit SGD did not reduce loss: %v -> %v", before, lossOf())
+	}
+}
+
+func TestRunMACReducesNestedError(t *testing.T) {
+	xs, ys := toyRegression(200, 10)
+	n := NewNet([]int{2, 6, 1})
+	n.InitRandom(rand.New(rand.NewSource(11)), 0.3)
+	before := n.NestedError(xs, ys)
+	stats := RunMAC(n, xs, ys, MACConfig{Mu0: 1, MuFactor: 2, Iters: 8, Eta: 1, WEpochs: 3, ZIters: 10, Seed: 11})
+	after := stats[len(stats)-1].Nested
+	t.Logf("nested error %v -> %v", before, after)
+	if after >= before {
+		t.Fatalf("MAC did not reduce the nested error: %v -> %v", before, after)
+	}
+	if after > 0.5*before {
+		t.Fatalf("MAC reduction too weak: %v -> %v", before, after)
+	}
+}
+
+func TestRunMACDeterministic(t *testing.T) {
+	xs, ys := toyRegression(80, 12)
+	run := func() float64 {
+		n := NewNet([]int{2, 4, 1})
+		n.InitRandom(rand.New(rand.NewSource(13)), 0.3)
+		st := RunMAC(n, xs, ys, MACConfig{Mu0: 1, Iters: 4, Seed: 13})
+		return st[len(st)-1].EQ
+	}
+	if run() != run() {
+		t.Fatal("serial MAC must be deterministic")
+	}
+}
+
+func TestParMACNetProblem(t *testing.T) {
+	xs, ys := toyRegression(240, 14)
+	start := NewNet([]int{2, 6, 1})
+	start.InitRandom(rand.New(rand.NewSource(15)), 0.3)
+	nestedBefore := start.NestedError(xs, ys)
+
+	shards := dataset.ShardIndices(240, 3, nil)
+	prob := NewParMACProblem(start, xs, ys, shards, ParMACConfig{Mu0: 1, MuFactor: 2, Eta: 1, ZIters: 10})
+	if len(prob.Submodels()) != 7 { // 6 hidden + 1 output unit
+		t.Fatalf("submodels = %d, want 7", len(prob.Submodels()))
+	}
+	eng := core.New(prob, core.Config{P: 3, Epochs: 2, Seed: 15})
+	defer eng.Shutdown()
+	eng.Run(8)
+	_, nestedAfter := prob.PenaltyAndNested()
+	t.Logf("ParMAC nested error %v -> %v", nestedBefore, nestedAfter)
+	if nestedAfter >= nestedBefore {
+		t.Fatalf("ParMAC did not reduce the nested error: %v -> %v", nestedBefore, nestedAfter)
+	}
+}
+
+func TestParMACNetDeterministic(t *testing.T) {
+	xs, ys := toyRegression(90, 16)
+	run := func() float64 {
+		start := NewNet([]int{2, 4, 1})
+		start.InitRandom(rand.New(rand.NewSource(17)), 0.3)
+		shards := dataset.ShardIndices(90, 2, nil)
+		prob := NewParMACProblem(start, xs, ys, shards, ParMACConfig{Mu0: 1, Eta: 1})
+		eng := core.New(prob, core.Config{P: 2, Epochs: 1, Seed: 17})
+		defer eng.Shutdown()
+		eng.Run(3)
+		_, nested := prob.PenaltyAndNested()
+		return nested
+	}
+	if run() != run() {
+		t.Fatal("ParMAC net training must be deterministic without shuffle")
+	}
+}
+
+func TestAssembleNetRoundTrip(t *testing.T) {
+	xs, ys := toyRegression(20, 18)
+	start := NewNet([]int{2, 3, 1})
+	start.InitRandom(rand.New(rand.NewSource(19)), 0.5)
+	prob := NewParMACProblem(start, xs, ys, dataset.ShardIndices(20, 1, nil), ParMACConfig{})
+	back := prob.AssembleNet()
+	for k := range start.Ws {
+		if vec.MaxAbsDiff(start.Ws[k], back.Ws[k]) != 0 {
+			t.Fatalf("layer %d weights lost in round trip", k)
+		}
+	}
+}

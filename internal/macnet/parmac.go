@@ -1,0 +1,228 @@
+package macnet
+
+import (
+	"repro/internal/core"
+	"repro/internal/vec"
+)
+
+// This file adapts the K-layer MAC deep net to the ParMAC engine: every
+// hidden/output unit becomes one circulating core.Submodel (its weight
+// vector), matching the paper's description of the deep-net W step ("a
+// separate minimisation over the weights of each hidden unit", §3.2), and
+// each shard keeps the auxiliary activations of its own points.
+
+// NetShard is one machine's inputs, targets and auxiliary coordinates.
+type NetShard struct {
+	X, Y *vec.Matrix
+	C    *Coords
+}
+
+// NumPoints implements core.Shard.
+func (s *NetShard) NumPoints() int { return s.X.Rows }
+
+// unitSub is one unit's weight vector circulating through the ring.
+type unitSub struct {
+	id  int
+	ref UnitRef
+	w   []float64 // input weights plus trailing bias
+	k   int       // hidden layer count of the net
+	eta float64
+}
+
+// ID implements core.Submodel.
+func (u *unitSub) ID() int { return u.id }
+
+// TrainOn implements core.Submodel: one SGD pass of this unit's single-layer
+// regression over the shard.
+func (u *unitSub) TrainOn(shard core.Shard, order []int) {
+	sh := shard.(*NetShard)
+	for _, i := range order {
+		var in []float64
+		if u.ref.Layer == 0 {
+			in = sh.X.Row(i)
+		} else {
+			in = sh.C.Z[u.ref.Layer-1].Row(i)
+		}
+		var target float64
+		if u.ref.Layer < u.k {
+			target = sh.C.Z[u.ref.Layer].At(i, u.ref.Unit)
+		} else {
+			target = sh.Y.At(i, u.ref.Unit)
+		}
+		u.step(in, target)
+	}
+}
+
+func (u *unitSub) step(in []float64, target float64) {
+	s := u.w[len(u.w)-1]
+	for i, v := range in {
+		s += u.w[i] * v
+	}
+	p := Sigmoid(s)
+	g := (p - target) * p * (1 - p)
+	for i, v := range in {
+		u.w[i] -= u.eta * g * v
+	}
+	u.w[len(u.w)-1] -= u.eta * g
+}
+
+// Clone implements core.Submodel.
+func (u *unitSub) Clone() core.Submodel {
+	c := *u
+	c.w = vec.Clone(u.w)
+	return &c
+}
+
+// Bytes implements core.Submodel.
+func (u *unitSub) Bytes() int { return 8 * len(u.w) }
+
+// ParMACConfig parameterises the distributed net problem.
+type ParMACConfig struct {
+	Mu0      float64
+	MuFactor float64
+	Eta      float64
+	ZIters   int
+}
+
+// ParMACProblem implements core.Problem for the K-layer net.
+type ParMACProblem struct {
+	dims   []int
+	shards []*NetShard
+	subs   []*unitSub
+	cfg    ParMACConfig
+	mu     float64
+}
+
+// NewParMACProblem splits (xs, ys) into shards by the given index lists and
+// initialises coordinates with the starting net's activations.
+func NewParMACProblem(start *Net, xs, ys *vec.Matrix, shardIdx [][]int, cfg ParMACConfig) *ParMACProblem {
+	if cfg.Mu0 <= 0 {
+		cfg.Mu0 = 1
+	}
+	if cfg.MuFactor <= 1 {
+		cfg.MuFactor = 2
+	}
+	if cfg.Eta <= 0 {
+		cfg.Eta = 0.5
+	}
+	if cfg.ZIters <= 0 {
+		cfg.ZIters = 10
+	}
+	if start.K() == 0 {
+		panic("macnet: ParMAC needs at least one hidden layer")
+	}
+	p := &ParMACProblem{dims: append([]int(nil), start.Dims...), cfg: cfg, mu: cfg.Mu0}
+	for _, idx := range shardIdx {
+		sx := vec.NewMatrix(len(idx), xs.Cols)
+		sy := vec.NewMatrix(len(idx), ys.Cols)
+		for k, i := range idx {
+			copy(sx.Row(k), xs.Row(i))
+			copy(sy.Row(k), ys.Row(i))
+		}
+		p.shards = append(p.shards, &NetShard{X: sx, Y: sy, C: NewCoordsFromForward(start, sx)})
+	}
+	id := 0
+	for _, u := range start.Units() {
+		row := start.Ws[u.Layer].Row(u.Unit)
+		p.subs = append(p.subs, &unitSub{
+			id: id, ref: u, w: vec.Clone(row), k: start.K(), eta: cfg.Eta,
+		})
+		id++
+	}
+	return p
+}
+
+// Submodels implements core.Problem.
+func (p *ParMACProblem) Submodels() []core.Submodel {
+	out := make([]core.Submodel, len(p.subs))
+	for i, s := range p.subs {
+		out[i] = s
+	}
+	return out
+}
+
+// NumShards implements core.Problem.
+func (p *ParMACProblem) NumShards() int { return len(p.shards) }
+
+// Shard implements core.Problem.
+func (p *ParMACProblem) Shard(i int) core.Shard { return p.shards[i] }
+
+// OnIterationStart advances the μ schedule.
+func (p *ParMACProblem) OnIterationStart(iter int) {
+	p.mu = p.cfg.Mu0
+	for i := 0; i < iter; i++ {
+		p.mu *= p.cfg.MuFactor
+	}
+}
+
+// Mu returns the current penalty parameter.
+func (p *ParMACProblem) Mu() float64 { return p.mu }
+
+// OnModelSync refreshes the problem's submodel references after fault
+// recovery (core.ModelSyncHook).
+func (p *ParMACProblem) OnModelSync(model []core.Submodel) {
+	for _, sm := range model {
+		if u, ok := sm.(*unitSub); ok {
+			p.subs[u.id] = u
+		}
+	}
+}
+
+// ZStep implements core.Problem: assemble the machine-local net and run the
+// per-point generalised proximal operator.
+func (p *ParMACProblem) ZStep(shard int, model []core.Submodel) int {
+	net := assembleNet(p.dims, model)
+	sh := p.shards[shard]
+	changed := 0
+	for i := 0; i < sh.X.Rows; i++ {
+		before := make([]float64, 0)
+		for _, z := range sh.C.Z {
+			before = append(before, z.Row(i)...)
+		}
+		ZStepPoint(net, sh.X.Row(i), sh.Y.Row(i), sh.C, i, p.mu, p.cfg.ZIters)
+		after := make([]float64, 0)
+		for _, z := range sh.C.Z {
+			after = append(after, z.Row(i)...)
+		}
+		for d := range before {
+			if before[d] != after[d] {
+				changed++
+				break
+			}
+		}
+	}
+	return changed
+}
+
+// AssembleNet builds a Net from the problem's authoritative submodels
+// (between iterations), for evaluation.
+func (p *ParMACProblem) AssembleNet() *Net {
+	return assembleNet(p.dims, p.Submodels())
+}
+
+// PenaltyAndNested evaluates E_Q (current μ) and the nested error over all
+// shards.
+func (p *ParMACProblem) PenaltyAndNested() (eq, nested float64) {
+	net := p.AssembleNet()
+	for _, sh := range p.shards {
+		eq += PenaltyError(net, sh.X, sh.Y, sh.C, p.mu)
+		nested += net.NestedError(sh.X, sh.Y)
+	}
+	return eq, nested
+}
+
+func assembleNet(dims []int, model []core.Submodel) *Net {
+	net := NewNet(dims)
+	for _, sm := range model {
+		u, ok := sm.(*unitSub)
+		if !ok {
+			panic("macnet: foreign submodel")
+		}
+		copy(net.Ws[u.ref.Layer].Row(u.ref.Unit), u.w)
+	}
+	return net
+}
+
+var _ core.Problem = (*ParMACProblem)(nil)
+var _ core.IterationHook = (*ParMACProblem)(nil)
+var _ core.ModelSyncHook = (*ParMACProblem)(nil)

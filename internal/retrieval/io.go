@@ -1,0 +1,63 @@
+package retrieval
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary persistence for packed code sets — the "index" a retrieval service
+// would keep in RAM (the paper's 8 GB-for-a-billion-points argument). Format:
+// magic, version, N, L as little-endian uint32/uint64, then the raw words.
+
+var codesMagic = [4]byte{'P', 'M', 'A', 'C'}
+
+const codesVersion = 1
+
+// Save writes the codes in the binary index format.
+func (c *Codes) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(codesMagic[:]); err != nil {
+		return err
+	}
+	hdr := []uint64{codesVersion, uint64(c.N), uint64(c.L)}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, c.Data); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadCodes reads a code set written by Save.
+func LoadCodes(r io.Reader) (*Codes, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("retrieval: read magic: %w", err)
+	}
+	if magic != codesMagic {
+		return nil, fmt.Errorf("retrieval: bad magic %q", magic)
+	}
+	var version, n, l uint64
+	for _, p := range []*uint64{&version, &n, &l} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("retrieval: read header: %w", err)
+		}
+	}
+	if version != codesVersion {
+		return nil, fmt.Errorf("retrieval: unsupported version %d", version)
+	}
+	if l == 0 || l > 1<<20 || n > 1<<40 {
+		return nil, fmt.Errorf("retrieval: implausible header N=%d L=%d", n, l)
+	}
+	c := NewCodes(int(n), int(l))
+	if err := binary.Read(br, binary.LittleEndian, c.Data); err != nil {
+		return nil, fmt.Errorf("retrieval: read words: %w", err)
+	}
+	return c, nil
+}

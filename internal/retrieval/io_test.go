@@ -1,0 +1,95 @@
+package retrieval
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestCodesSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewCodes(137, 48)
+	for i := range c.Data {
+		c.Data[i] = rng.Uint64()
+	}
+	// Mask unused high bits so Equal compares canonical content.
+	for i := 0; i < c.N; i++ {
+		c.Code(i)[0] &= (1 << 48) - 1
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCodes(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Equal(back) {
+		t.Fatal("codes differ after round trip")
+	}
+}
+
+func TestLoadCodesRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"nope",
+		"PMACgarbage-that-is-not-a-header",
+	}
+	for i, c := range cases {
+		if _, err := LoadCodes(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestLoadCodesRejectsWrongVersion(t *testing.T) {
+	c := NewCodes(2, 8)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[4] = 99 // corrupt the version field
+	if _, err := LoadCodes(bytes.NewReader(raw)); err == nil {
+		t.Fatal("expected version error")
+	}
+}
+
+func TestLoadCodesTruncatedPayload(t *testing.T) {
+	c := NewCodes(10, 64)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()[:buf.Len()-8]
+	if _, err := LoadCodes(bytes.NewReader(raw)); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestRankOfTrueNNAgainstSortOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		n := 20 + rng.Intn(40)
+		base := NewCodes(n, 24)
+		for i := range base.Data {
+			base.Data[i] = rng.Uint64() & ((1 << 24) - 1)
+		}
+		q := NewCodes(1, 24)
+		q.Data[0] = rng.Uint64() & ((1 << 24) - 1)
+		target := rng.Intn(n)
+		got := RankOfTrueNN(base, q.Code(0), target)
+		// Oracle: 1 + number of strictly closer points.
+		d := HammingWords(base.Code(target), q.Code(0))
+		want := 1
+		for i := 0; i < n; i++ {
+			if i != target && HammingWords(base.Code(i), q.Code(0)) < d {
+				want++
+			}
+		}
+		if got != want {
+			t.Fatalf("trial %d: rank %d, oracle %d", trial, got, want)
+		}
+	}
+}

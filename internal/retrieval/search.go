@@ -1,0 +1,176 @@
+package retrieval
+
+import (
+	"sort"
+
+	"repro/internal/sgd"
+	"repro/internal/vec"
+)
+
+// TopKHamming returns the indices of the k base codes nearest to query in
+// Hamming distance, ties broken by lower index (deterministic). The linear
+// scan over packed words is exactly the search the paper motivates: Hamming
+// distances "at a vastly faster speed and smaller memory" than Euclidean.
+func TopKHamming(base *Codes, query []uint64, k int) []int {
+	if k > base.N {
+		k = base.N
+	}
+	type cand struct {
+		idx, dist int
+	}
+	// Bounded insertion into a sorted buffer: k is small (≤ 10⁴ in the
+	// paper's protocols) relative to N, so this beats a heap in practice
+	// and keeps ordering fully deterministic.
+	buf := make([]cand, 0, k)
+	worst := -1
+	for i := 0; i < base.N; i++ {
+		d := HammingWords(base.Code(i), query)
+		if len(buf) == k && d >= worst {
+			continue
+		}
+		pos := sort.Search(len(buf), func(j int) bool {
+			return buf[j].dist > d
+		})
+		if len(buf) < k {
+			buf = append(buf, cand{})
+		}
+		copy(buf[pos+1:], buf[pos:len(buf)-1])
+		buf[pos] = cand{i, d}
+		worst = buf[len(buf)-1].dist
+	}
+	out := make([]int, len(buf))
+	for i, c := range buf {
+		out[i] = c.idx
+	}
+	return out
+}
+
+// TopKEuclidean returns the indices of the k base points nearest to query in
+// Euclidean distance (the exact ground truth of §8.1), ties broken by lower
+// index.
+func TopKEuclidean(base sgd.Points, query []float64, k int) []int {
+	n := base.NumPoints()
+	if k > n {
+		k = n
+	}
+	type cand struct {
+		idx  int
+		dist float64
+	}
+	buf := make([]cand, 0, k)
+	worst := -1.0
+	tmp := make([]float64, len(query))
+	for i := 0; i < n; i++ {
+		d := vec.SqDist(base.Point(i, tmp), query)
+		if len(buf) == k && d >= worst {
+			continue
+		}
+		pos := sort.Search(len(buf), func(j int) bool {
+			return buf[j].dist > d
+		})
+		if len(buf) < k {
+			buf = append(buf, cand{})
+		}
+		copy(buf[pos+1:], buf[pos:len(buf)-1])
+		buf[pos] = cand{i, d}
+		worst = buf[len(buf)-1].dist
+	}
+	out := make([]int, len(buf))
+	for i, c := range buf {
+		out[i] = c.idx
+	}
+	return out
+}
+
+// GroundTruth computes, for every query row, the K exact Euclidean nearest
+// base points. It is O(Q·N·D); the experiment drivers scale Q and N so this
+// stays affordable.
+func GroundTruth(base sgd.Points, queries sgd.Points, k int) [][]int {
+	out := make([][]int, queries.NumPoints())
+	buf := make([]float64, pointsDim(queries))
+	for q := range out {
+		out[q] = TopKEuclidean(base, queries.Point(q, buf), k)
+	}
+	return out
+}
+
+func pointsDim(p sgd.Points) int {
+	if p.NumPoints() == 0 {
+		return 0
+	}
+	return len(p.Point(0, nil))
+}
+
+// Precision computes the paper's retrieval precision: for each query, the
+// fraction of the k Hamming-retrieved points that are among the K true
+// Euclidean neighbours, averaged over queries.
+func Precision(truth [][]int, retrieved [][]int) float64 {
+	if len(truth) != len(retrieved) {
+		panic("retrieval: Precision length mismatch")
+	}
+	if len(truth) == 0 {
+		return 0
+	}
+	var total float64
+	for q := range truth {
+		if len(retrieved[q]) == 0 {
+			continue
+		}
+		set := make(map[int]struct{}, len(truth[q]))
+		for _, i := range truth[q] {
+			set[i] = struct{}{}
+		}
+		hit := 0
+		for _, i := range retrieved[q] {
+			if _, ok := set[i]; ok {
+				hit++
+			}
+		}
+		total += float64(hit) / float64(len(retrieved[q]))
+	}
+	return total / float64(len(truth))
+}
+
+// RankOfTrueNN returns the Hamming rank of base code trueIdx for the given
+// query code, following the paper's tie rule for recall@R: "in case of tied
+// distances, we place the query as top rank", i.e. rank = 1 + #(points
+// strictly closer).
+func RankOfTrueNN(base *Codes, query []uint64, trueIdx int) int {
+	d := HammingWords(base.Code(trueIdx), query)
+	rank := 1
+	for i := 0; i < base.N; i++ {
+		if i == trueIdx {
+			continue
+		}
+		if HammingWords(base.Code(i), query) < d {
+			rank++
+		}
+	}
+	return rank
+}
+
+// RecallAtR computes recall@R for each requested R: the fraction of queries
+// whose true nearest neighbour (trueNN[q], an index into base) is ranked
+// within the top R positions by Hamming distance.
+func RecallAtR(base *Codes, queries *Codes, trueNN []int, rs []int) []float64 {
+	if queries.N != len(trueNN) {
+		panic("retrieval: RecallAtR needs one true NN per query")
+	}
+	ranks := make([]int, queries.N)
+	for q := 0; q < queries.N; q++ {
+		ranks[q] = RankOfTrueNN(base, queries.Code(q), trueNN[q])
+	}
+	out := make([]float64, len(rs))
+	for ri, r := range rs {
+		hit := 0
+		for _, rank := range ranks {
+			if rank <= r {
+				hit++
+			}
+		}
+		if queries.N > 0 {
+			out[ri] = float64(hit) / float64(queries.N)
+		}
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package sgd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleDecreasesAndRobbinsMonro(t *testing.T) {
+	s := NewSchedule(0.5, 0.1)
+	prev := math.Inf(1)
+	var sum, sumSq float64
+	for i := 0; i < 10000; i++ {
+		eta := s.Next()
+		if eta > prev {
+			t.Fatalf("schedule not monotone at step %d", i)
+		}
+		prev = eta
+		sum += eta
+		sumSq += eta * eta
+	}
+	// η_t ~ 1/(λt): partial sums diverge (grow with horizon); squares converge.
+	if sum < 50 {
+		t.Fatalf("Σηt = %v, expected divergent-looking growth", sum)
+	}
+	if sumSq > 10 {
+		t.Fatalf("Ση²t = %v, expected bounded", sumSq)
+	}
+}
+
+func TestSchedulePeekAndSetSteps(t *testing.T) {
+	s := NewSchedule(1, 1)
+	if s.Peek() != 1 {
+		t.Fatal("initial rate should be eta0")
+	}
+	s.Next()
+	if s.Steps() != 1 {
+		t.Fatal("step count wrong")
+	}
+	s.SetSteps(9)
+	want := 1.0 / (1 + 9)
+	if s.Peek() != want {
+		t.Fatalf("after SetSteps Peek=%v want %v", s.Peek(), want)
+	}
+}
+
+func TestScheduleZeroLambdaIsConstant(t *testing.T) {
+	s := NewSchedule(0.3, 0)
+	for i := 0; i < 5; i++ {
+		if s.Next() != 0.3 {
+			t.Fatal("λ=0 schedule must be constant")
+		}
+	}
+}
+
+func TestTuneEta0PicksMinimum(t *testing.T) {
+	// Loss is a parabola in log(eta) minimised near eta=0.04.
+	got := TuneEta0(1e-4, 1, 2, func(eta float64) float64 {
+		return math.Pow(math.Log(eta)-math.Log(0.04), 2)
+	})
+	if got < 0.02 || got > 0.08 {
+		t.Fatalf("TuneEta0 = %v, want near 0.04", got)
+	}
+}
+
+func TestTuneEta0SkipsNaN(t *testing.T) {
+	got := TuneEta0(0.01, 1, 10, func(eta float64) float64 {
+		if eta > 0.05 {
+			return math.NaN() // diverged
+		}
+		return 1 / eta // prefers larger among stable ones
+	})
+	if got != 0.01 && got != 0.1 {
+		// only 0.01, 0.1, 1 are candidates; 0.1 and 1 are NaN.
+	}
+	if got != 0.01 {
+		t.Fatalf("TuneEta0 = %v, want 0.01", got)
+	}
+}
+
+func TestTuneEta0AllNaNFallsBackToLo(t *testing.T) {
+	got := TuneEta0(0.5, 8, 2, func(float64) float64 { return math.NaN() })
+	if got != 0.5 {
+		t.Fatalf("fallback = %v, want lo", got)
+	}
+}
+
+func TestTuningSampleSize(t *testing.T) {
+	if TuningSampleSize(10) != 10 || TuningSampleSize(5000) != 1000 {
+		t.Fatal("TuningSampleSize wrong")
+	}
+}
+
+func TestOrderSequential(t *testing.T) {
+	o := Order(5, false, nil)
+	for i, v := range o {
+		if v != i {
+			t.Fatalf("sequential order wrong: %v", o)
+		}
+	}
+}
+
+func TestOrderShuffledIsPermutation(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%100 + 1
+		o := Order(n, true, rand.New(rand.NewSource(seed)))
+		seen := make([]bool, n)
+		for _, v := range o {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(o) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinibatches(t *testing.T) {
+	o := Order(10, false, nil)
+	b := Minibatches(o, 3)
+	if len(b) != 4 {
+		t.Fatalf("got %d batches", len(b))
+	}
+	if len(b[3]) != 1 {
+		t.Fatalf("last batch size %d", len(b[3]))
+	}
+	total := 0
+	for _, batch := range b {
+		total += len(batch)
+	}
+	if total != 10 {
+		t.Fatal("batches do not cover order")
+	}
+	if len(Minibatches(o, 0)) != 1 {
+		t.Fatal("size<=0 should give one batch")
+	}
+	if len(Minibatches(o, 100)) != 1 {
+		t.Fatal("oversized batch should give one batch")
+	}
+}

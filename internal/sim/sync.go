@@ -1,0 +1,55 @@
+package sim
+
+import "math"
+
+// RunSynchronous executes the *synchronous* schedule of §5.1 directly: an
+// imaginary clock ticks, and at each tick every machine processes its ⌈M/P⌉
+// portion of submodels on its N/P points and then sends it to its successor;
+// after P·e ticks plus a final copy round the W step ends, and the Z step
+// runs in parallel. This is the schedule the closed-form T(P) of eq. (9) is
+// derived from, so the two must agree exactly for homogeneous machines —
+// tested in sync_test.go. The asynchronous Run is the realistic engine-like
+// variant; this one exists to validate the theory end of the bridge.
+func RunSynchronous(cfg Config) Result {
+	if cfg.P <= 0 || cfg.M <= 0 || cfg.N <= 0 {
+		panic("sim: P, M, N must be positive")
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 1
+	}
+	p := float64(cfg.P)
+	n := float64(cfg.N)
+	m := float64(cfg.M)
+	e := float64(cfg.Epochs)
+	portion := math.Ceil(m / p) // submodels per machine per tick
+
+	var res Result
+	if cfg.P == 1 {
+		// No communication on a single machine (eq. 10).
+		res.TW = m * n * e * cfg.TWr
+		res.CompTime = res.TW
+	} else {
+		// Tick time: process the portion, then send it (eq. 8's derivation).
+		tick := portion * (cfg.TWr*n/p + cfg.TWc)
+		res.TW = tick*p*e + portion*cfg.TWc*p // e epochs + final copy round
+		res.CommTime = (portion*cfg.TWc)*p*e*p + portion*cfg.TWc*p*p
+		res.CompTime = portion * (cfg.TWr * n / p) * p * e * p
+		res.Hops = int(portion * p * (e*p + p - 1))
+	}
+	res.TZ = m * n / p * cfg.TZr // eq. (7)
+	res.CompTime += m * n * cfg.TZr
+	res.T = res.TW + res.TZ
+	return res
+}
+
+// SynchronousSpeedup sweeps machine counts under the synchronous schedule.
+func SynchronousSpeedup(cfg Config, ps []int) []float64 {
+	t1 := SerialTime(cfg)
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		c := cfg
+		c.P = p
+		out[i] = t1 / RunSynchronous(c).T
+	}
+	return out
+}

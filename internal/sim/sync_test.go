@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/speedup"
+)
+
+func TestSynchronousMatchesClosedFormExactly(t *testing.T) {
+	// RunSynchronous implements the schedule eq. (9) was derived from, so
+	// T(P) must match the speedup package to machine precision.
+	cases := []Config{
+		{P: 4, N: 50000, M: 32, Epochs: 1, TWr: 1, TWc: 100, TZr: 10},
+		{P: 16, N: 50000, M: 32, Epochs: 8, TWr: 1, TWc: 1000, TZr: 200},
+		{P: 7, N: 10000, M: 5, Epochs: 2, TWr: 2, TWc: 50, TZr: 3}, // M < P, non-divisible
+		{P: 1, N: 1000, M: 8, Epochs: 3, TWr: 1, TWc: 100, TZr: 1},
+	}
+	for ci, cfg := range cases {
+		th := speedup.Params{N: cfg.N, M: cfg.M, E: cfg.Epochs, TWr: cfg.TWr, TWc: cfg.TWc, TZr: cfg.TZr}
+		got := RunSynchronous(cfg).T
+		want := th.T(cfg.P)
+		if math.Abs(got-want) > 1e-9*want {
+			t.Fatalf("case %d: sync T=%v, closed form %v", ci, got, want)
+		}
+	}
+}
+
+func TestSynchronousSpeedupMatchesTheoryCurve(t *testing.T) {
+	cfg := Config{N: 100000, M: 64, Epochs: 1, TWr: 1, TWc: 500, TZr: 20}
+	th := speedup.Params{N: cfg.N, M: cfg.M, E: cfg.Epochs, TWr: cfg.TWr, TWc: cfg.TWc, TZr: cfg.TZr}
+	ps := []int{2, 8, 32, 64, 100, 256}
+	got := SynchronousSpeedup(cfg, ps)
+	for i, p := range ps {
+		want := th.Speedup(float64(p))
+		if math.Abs(got[i]-want) > 1e-9*want {
+			t.Fatalf("P=%d: sync speedup %v vs theory %v", p, got[i], want)
+		}
+	}
+}
+
+func TestAsyncNeverSlowerThanSynchronous(t *testing.T) {
+	// The synchronous schedule idles machines at tick boundaries; the
+	// asynchronous queues cannot do worse (the paper's footnote 3: the
+	// synchronous estimate "is an upper bound").
+	for _, cfg := range []Config{
+		{P: 8, N: 50000, M: 32, Epochs: 1, TWr: 1, TWc: 100, TZr: 10, Seed: 1},
+		{P: 12, N: 20000, M: 7, Epochs: 2, TWr: 1, TWc: 1000, TZr: 1, Seed: 2}, // M not divisible by P
+		{P: 32, N: 50000, M: 8, Epochs: 1, TWr: 1, TWc: 2000, TZr: 1, Seed: 3}, // P >> M
+	} {
+		async := Run(cfg).T
+		sync := RunSynchronous(cfg).T
+		if async > sync*(1+1e-9) {
+			t.Fatalf("async T=%v exceeds synchronous bound %v (cfg %+v)", async, sync, cfg)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Package speedup implements the paper's theoretical model of ParMAC's
+// parallel speedup (§5 and appendix A): the per-iteration runtime T(P) of
+// eqs. (9)–(10), the speedup S(P) of eq. (12), the per-interval maxima P*_k
+// and S*_k of eq. (17), the globally maximum speedup of appendix A.2, and the
+// large-dataset approximation of eq. (20). It regenerates Figs. 4 and 5 and
+// the theory rows of Fig. 10.
+package speedup
+
+import "math"
+
+// Params are the model inputs of §5.1.
+type Params struct {
+	N int // training points
+	M int // independent equal-size submodels in the W step
+	E int // epochs e in the W step
+
+	TWr float64 // computation time per submodel and data point, W step
+	TWc float64 // communication time per submodel, W step
+	TZr float64 // computation time per data point, Z step
+}
+
+// Rho1 is ρ1 = t_r^Z / ((e+1)·t_c^W) (eq. 13).
+func (p Params) Rho1() float64 { return p.TZr / (float64(p.E+1) * p.TWc) }
+
+// Rho2 is ρ2 = e·t_r^W / ((e+1)·t_c^W) (eq. 13).
+func (p Params) Rho2() float64 {
+	return float64(p.E) * p.TWr / (float64(p.E+1) * p.TWc)
+}
+
+// Rho is ρ = ρ1 + ρ2.
+func (p Params) Rho() float64 { return p.Rho1() + p.Rho2() }
+
+// T returns the modelled runtime of one ParMAC iteration on P machines:
+// eq. (9) for P > 1 and eq. (10) for P = 1 (no communication).
+func (p Params) T(P int) float64 {
+	n, m, e := float64(p.N), float64(p.M), float64(p.E)
+	if P <= 1 {
+		return m*n*p.TZr + m*n*e*p.TWr
+	}
+	pf := float64(P)
+	ceil := math.Ceil(m / pf)
+	return m*n/pf*p.TZr + pf*ceil*(e*(p.TWr*n/pf+p.TWc)+p.TWc)
+}
+
+// Speedup returns S(P) = T(1)/T(P), treating P as a real variable as in
+// appendix A (only integer P occur in practice).
+func (p Params) Speedup(P float64) float64 {
+	if P <= 1 {
+		return 1
+	}
+	n, m, e := float64(p.N), float64(p.M), float64(p.E)
+	ceil := math.Ceil(m / P)
+	tp := m*n/P*p.TZr + P*ceil*(e*(p.TWr*n/P+p.TWc)+p.TWc)
+	return p.T(1) / tp
+}
+
+// Curve evaluates S(P) at every requested machine count.
+func (p Params) Curve(ps []int) []float64 {
+	out := make([]float64, len(ps))
+	for i, pp := range ps {
+		out[i] = p.Speedup(float64(pp))
+	}
+	return out
+}
+
+// PStarK is P*_k = sqrt(ρ1·M·N/k), the candidate maximiser inside the
+// interval [M/k, M/(k−1)) (eq. 17).
+func (p Params) PStarK(k int) float64 {
+	return math.Sqrt(p.Rho1() * float64(p.M) * float64(p.N) / float64(k))
+}
+
+// SStarK is S*_k = S(P*_k) from eq. (17).
+func (p Params) SStarK(k int) float64 {
+	m, n := float64(p.M), float64(p.N)
+	return p.Rho() * m / float64(k) /
+		(p.Rho2() + 2*math.Sqrt(p.Rho1()*m/(n*float64(k))))
+}
+
+// GlobalMax returns the maximising machine count P* and the globally maximum
+// speedup S* (appendix A.2):
+//
+//	M ≥ ρ1·N: S* = M/(1 + M/(ρN)) at P = M
+//	M < ρ1·N: S* = S*_1 > M       at P = P*_1 = sqrt(ρ1·M·N) > M
+func (p Params) GlobalMax() (pStar, sStar float64) {
+	m, n := float64(p.M), float64(p.N)
+	if m >= p.Rho1()*n {
+		return m, m / (1 + m/(p.Rho()*n))
+	}
+	return p.PStarK(1), p.SStarK(1)
+}
+
+// LargeDataset returns the P ≪ ρ2·N approximation of eq. (20):
+// S(P) ≈ P when M is divisible by P, and the weighted harmonic mean
+// ρ/(ρ1/P + ρ2/M) when M > P.
+func (p Params) LargeDataset(P int) float64 {
+	m := float64(p.M)
+	pf := float64(P)
+	if P <= p.M && p.M%P == 0 {
+		return pf
+	}
+	return p.Rho() / (p.Rho1()/pf + p.Rho2()/m)
+}
+
+// DivisibleSpeedup is eq. (14): S(P) = P/(1 + P/(ρN)), valid when M is
+// divisible by P.
+func (p Params) DivisibleSpeedup(P int) float64 {
+	pf := float64(P)
+	return pf / (1 + pf/(p.Rho()*float64(p.N)))
+}
+
+// PerfectSpeedupBound is the condition of eq. (15): S ≈ P requires P ≪ ρN.
+// It returns ρN, the machine-count scale beyond which the speedup departs
+// from perfect.
+func (p Params) PerfectSpeedupBound() float64 { return p.Rho() * float64(p.N) }
+
+// Intervals returns the continuity breakpoints M/k (k = M..1) of S(P) from
+// appendix A: S is continuous on [M/k, M/(k−1)).
+func (p Params) Intervals() []float64 {
+	out := make([]float64, 0, p.M)
+	for k := p.M; k >= 1; k-- {
+		out = append(out, float64(p.M)/float64(k))
+	}
+	return out
+}
+
+// EffectiveSubmodels implements the §5.4 grouping rule for the BA: L encoder
+// submodels of input dimension d, and d decoders of input dimension L,
+// grouped into L groups so all M = 2L units have comparable size.
+func EffectiveSubmodels(L int) int { return 2 * L }
+
+// ScaleInvariant reports whether two parameter settings produce identical
+// speedup curves, using the invariance transformations of §5.2: S depends on
+// the inputs only through ρ'1 = ρ1·N and ρ'2 = ρ2·N (eq. 21–22) and M.
+func ScaleInvariant(a, b Params, tol float64) bool {
+	if a.M != b.M {
+		return false
+	}
+	r1a, r1b := a.Rho1()*float64(a.N), b.Rho1()*float64(b.N)
+	r2a, r2b := a.Rho2()*float64(a.N), b.Rho2()*float64(b.N)
+	close := func(x, y float64) bool {
+		return math.Abs(x-y) <= tol*(1+math.Abs(x)+math.Abs(y))
+	}
+	return close(r1a, r1b) && close(r2a, r2b)
+}

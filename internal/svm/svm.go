@@ -1,0 +1,231 @@
+// Package svm implements the hash-function submodels of the binary
+// autoencoder: linear SVMs trained by SGD on the hinge loss (the per-bit
+// encoder submodels of §3.1) and the RBF-network kernel expansion used for
+// the nonlinear hash function of §8.4. Training follows Bottou's SGD with the
+// η0 auto-calibration pass the paper describes in §8.1.
+package svm
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/sgd"
+	"repro/internal/vec"
+)
+
+// Linear is a linear SVM y = sign(w·x + b) with L2 regularisation λ/2·‖w‖².
+// It carries its own SGD schedule so a circulating ParMAC submodel continues
+// its learning-rate decay across machines.
+type Linear struct {
+	W      []float64
+	B      float64
+	Lambda float64
+	Sched  *sgd.Schedule
+}
+
+// NewLinear creates a zero-initialised SVM for d-dimensional inputs.
+func NewLinear(d int, lambda float64) *Linear {
+	return &Linear{W: make([]float64, d), Lambda: lambda, Sched: sgd.NewSchedule(1e-2, lambda)}
+}
+
+// Margin returns w·x + b.
+func (m *Linear) Margin(x []float64) float64 { return vec.Dot(m.W, x) + m.B }
+
+// Predict returns the binary decision Margin(x) >= 0, the bit convention of
+// the BA encoder h(x) = step(Ax).
+func (m *Linear) Predict(x []float64) bool { return m.Margin(x) >= 0 }
+
+// Clone returns a deep copy (including schedule state), used for the
+// redundant per-machine submodel copies that ParMAC's fault tolerance relies
+// on (§4.3).
+func (m *Linear) Clone() *Linear {
+	c := &Linear{W: vec.Clone(m.W), B: m.B, Lambda: m.Lambda}
+	s := *m.Sched
+	c.Sched = &s
+	return c
+}
+
+// Bytes returns the serialised parameter size, used by the communication
+// accounting (t_c^W is per-submodel in §5.1).
+func (m *Linear) Bytes() int { return 8 * (len(m.W) + 1) }
+
+// Step performs one SGD update with learning rate eta on sample (x, y),
+// y ∈ {-1,+1}: regularise w, and add η·y·x when the margin is violated.
+func (m *Linear) Step(x []float64, y, eta float64) {
+	vec.Scale(1-eta*m.Lambda, m.W)
+	if y*m.Margin(x) < 1 {
+		vec.Axpy(eta*y, x, m.W)
+		m.B += eta * y
+	}
+}
+
+// TrainPass runs one stochastic pass over the given sample order, advancing
+// the carried schedule. label(i) must return ±1 for point order[k]=i.
+func (m *Linear) TrainPass(pts sgd.Points, label func(i int) float64, order []int, buf []float64) {
+	for _, i := range order {
+		x := pts.Point(i, buf)
+		m.Step(x, label(i), m.Sched.Next())
+	}
+}
+
+// AvgLoss returns the mean regularised hinge loss over the points listed in
+// idx (all points when idx == nil).
+func (m *Linear) AvgLoss(pts sgd.Points, label func(i int) float64, idx []int) float64 {
+	n := pts.NumPoints()
+	if idx == nil {
+		idx = sgd.Order(n, false, nil)
+	}
+	if len(idx) == 0 {
+		return 0
+	}
+	buf := make([]float64, len(m.W))
+	var loss float64
+	for _, i := range idx {
+		x := pts.Point(i, buf)
+		h := 1 - label(i)*m.Margin(x)
+		if h > 0 {
+			loss += h
+		}
+	}
+	return loss/float64(len(idx)) + 0.5*m.Lambda*vec.SqNorm(m.W)
+}
+
+// AutoTune calibrates the schedule's η0 by trial passes over the first
+// min(n,1000) points (paper §8.1), leaving the model parameters untouched.
+func (m *Linear) AutoTune(pts sgd.Points, label func(i int) float64) {
+	n := sgd.TuningSampleSize(pts.NumPoints())
+	if n == 0 {
+		return
+	}
+	sample := sgd.Order(n, false, nil)
+	buf := make([]float64, len(m.W))
+	best := sgd.TuneEta0(1e-4, 16, 4, func(eta0 float64) float64 {
+		trial := m.Clone()
+		trial.Sched = sgd.NewSchedule(eta0, m.Lambda)
+		trial.TrainPass(pts, label, sample, buf)
+		return trial.AvgLoss(pts, label, sample)
+	})
+	m.Sched.Eta0 = best
+	m.Sched.Lambda = m.Lambda
+	m.Sched.SetSteps(0)
+}
+
+// Accuracy returns the fraction of points in idx (all when nil) whose sign is
+// predicted correctly.
+func (m *Linear) Accuracy(pts sgd.Points, label func(i int) float64, idx []int) float64 {
+	if idx == nil {
+		idx = sgd.Order(pts.NumPoints(), false, nil)
+	}
+	if len(idx) == 0 {
+		return 0
+	}
+	buf := make([]float64, len(m.W))
+	correct := 0
+	for _, i := range idx {
+		x := pts.Point(i, buf)
+		if (m.Margin(x) >= 0) == (label(i) > 0) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(idx))
+}
+
+// KernelMap is the fixed RBF feature expansion of §8.4: m Gaussian radial
+// basis functions with shared bandwidth σ and fixed centres; applying it
+// turns a kernel SVM into a linear SVM over kernel values. Values lie in
+// (0,1] and, as in the paper, can be stored one byte each.
+type KernelMap struct {
+	Centres *vec.Matrix // m×D
+	Sigma   float64
+}
+
+// RandomCentres picks m centres at random from ds (paper: "picked at random
+// from the training set").
+func RandomCentres(ds *dataset.Dataset, m int, seed int64) *vec.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	c := vec.NewMatrix(m, ds.D)
+	for k := 0; k < m; k++ {
+		ds.Point(rng.Intn(ds.N), c.Row(k))
+	}
+	return c
+}
+
+// MedianSigma estimates a bandwidth as the median pairwise distance over a
+// random sample, the standard heuristic replacing the paper's offline trial
+// runs (they fixed σ=160 for raw SIFT bytes).
+func MedianSigma(ds *dataset.Dataset, sample int, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	if sample > ds.N {
+		sample = ds.N
+	}
+	if sample < 2 {
+		return 1
+	}
+	var dists []float64
+	a := make([]float64, ds.D)
+	b := make([]float64, ds.D)
+	for t := 0; t < sample; t++ {
+		i, j := rng.Intn(ds.N), rng.Intn(ds.N)
+		if i == j {
+			continue
+		}
+		da := ds.Point(i, a)
+		db := ds.Point(j, b)
+		dists = append(dists, math.Sqrt(vec.SqDist(da, db)))
+	}
+	if len(dists) == 0 {
+		return 1
+	}
+	// Median by partial selection.
+	for i := 0; i < len(dists); i++ {
+		for j := i + 1; j < len(dists); j++ {
+			if dists[j] < dists[i] {
+				dists[i], dists[j] = dists[j], dists[i]
+			}
+		}
+	}
+	s := dists[len(dists)/2]
+	if s <= 0 {
+		return 1
+	}
+	return s
+}
+
+// NewKernelMap builds an RBF map with m random centres and median-heuristic
+// bandwidth.
+func NewKernelMap(ds *dataset.Dataset, m int, seed int64) *KernelMap {
+	return &KernelMap{Centres: RandomCentres(ds, m, seed), Sigma: MedianSigma(ds, 256, seed+1)}
+}
+
+// Apply writes the kernel feature vector of x into dst (allocated when nil):
+// dst[k] = exp(-‖x-c_k‖² / (2σ²)).
+func (k *KernelMap) Apply(x, dst []float64) []float64 {
+	m := k.Centres.Rows
+	if dst == nil {
+		dst = make([]float64, m)
+	}
+	inv := 1 / (2 * k.Sigma * k.Sigma)
+	for j := 0; j < m; j++ {
+		dst[j] = math.Exp(-vec.SqDist(x, k.Centres.Row(j)) * inv)
+	}
+	return dst
+}
+
+// Transform maps a whole dataset through the kernel expansion. With quantize
+// set, features are stored one byte each in [0,1], exactly the paper's
+// memory-saving representation (§8.4).
+func (k *KernelMap) Transform(ds *dataset.Dataset, quantize bool) *dataset.Dataset {
+	out := vec.NewMatrix(ds.N, k.Centres.Rows)
+	buf := make([]float64, ds.D)
+	for i := 0; i < ds.N; i++ {
+		k.Apply(ds.Point(i, buf), out.Row(i))
+	}
+	f := dataset.FromMatrix(out)
+	if quantize {
+		// Kernel values live in (0,1]; quantising against that fixed range
+		// keeps base and query sets on one grid.
+		return f.QuantizeRange(0, 1)
+	}
+	return f
+}

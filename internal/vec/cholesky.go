@@ -1,0 +1,100 @@
+package vec
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNotPD reports that a matrix passed to Cholesky was not (numerically)
+// positive definite.
+var ErrNotPD = errors.New("vec: matrix is not positive definite")
+
+// Cholesky holds the lower-triangular factor L of a symmetric positive
+// definite matrix A = L·Lᵀ and can solve linear systems A·x = b.
+type Cholesky struct {
+	n int
+	l *Matrix // lower triangular, including diagonal
+}
+
+// NewCholesky factors the symmetric positive definite matrix a. Only the
+// lower triangle of a is read. It returns ErrNotPD when a pivot is not
+// positive.
+func NewCholesky(a *Matrix) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		panic("vec: Cholesky of non-square matrix")
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 0 || math.IsNaN(sum) {
+					return nil, ErrNotPD
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return &Cholesky{n: n, l: l}, nil
+}
+
+// Solve computes x such that A·x = b, writing into dst (allocated when nil).
+// b and dst may alias.
+func (c *Cholesky) Solve(b, dst []float64) []float64 {
+	if len(b) != c.n {
+		panic("vec: Cholesky.Solve dimension mismatch")
+	}
+	if dst == nil {
+		dst = make([]float64, c.n)
+	}
+	// Forward substitution: L·y = b.
+	for i := 0; i < c.n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= c.l.At(i, k) * dst[k]
+		}
+		dst[i] = sum / c.l.At(i, i)
+	}
+	// Back substitution: Lᵀ·x = y.
+	for i := c.n - 1; i >= 0; i-- {
+		sum := dst[i]
+		for k := i + 1; k < c.n; k++ {
+			sum -= c.l.At(k, i) * dst[k]
+		}
+		dst[i] = sum / c.l.At(i, i)
+	}
+	return dst
+}
+
+// SolveMatrix solves A·X = B column by column, returning X with B's shape.
+func (c *Cholesky) SolveMatrix(b *Matrix) *Matrix {
+	if b.Rows != c.n {
+		panic("vec: Cholesky.SolveMatrix dimension mismatch")
+	}
+	x := NewMatrix(b.Rows, b.Cols)
+	col := make([]float64, c.n)
+	for j := 0; j < b.Cols; j++ {
+		b.Col(j, col)
+		c.Solve(col, col)
+		for i := 0; i < c.n; i++ {
+			x.Set(i, j, col[i])
+		}
+	}
+	return x
+}
+
+// SolveSPD is a convenience wrapper that factors a and solves a single
+// right-hand side.
+func SolveSPD(a *Matrix, b []float64) ([]float64, error) {
+	c, err := NewCholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	return c.Solve(b, nil), nil
+}

@@ -1,0 +1,199 @@
+package vec
+
+import (
+	"math"
+	"sort"
+)
+
+// EigSym computes the full eigendecomposition of the symmetric matrix a using
+// the cyclic Jacobi method. It returns eigenvalues in descending order and
+// the matching eigenvectors as the columns of the returned matrix. a is not
+// modified.
+//
+// Jacobi is quadratic-convergent and unconditionally stable; the matrices the
+// library diagonalises (covariance D×D for PCA, L×L Grams for ITQ and the
+// relaxed Z step) are small, so its O(n³) sweeps are cheap.
+func EigSym(a *Matrix) (vals []float64, vecs *Matrix) {
+	if a.Rows != a.Cols {
+		panic("vec: EigSym of non-square matrix")
+	}
+	n := a.Rows
+	w := a.Clone()
+	v := Identity(n)
+
+	const maxSweeps = 64
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagNorm(w)
+		if off < 1e-13*(1+frobNorm(w)) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				rotate(w, v, p, q, c, s)
+			}
+		}
+	}
+
+	vals = make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = w.At(i, i)
+	}
+	// Sort eigenpairs by descending eigenvalue.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return vals[idx[i]] > vals[idx[j]] })
+	sortedVals := make([]float64, n)
+	sortedVecs := NewMatrix(n, n)
+	for k, i := range idx {
+		sortedVals[k] = vals[i]
+		for r := 0; r < n; r++ {
+			sortedVecs.Set(r, k, v.At(r, i))
+		}
+	}
+	return sortedVals, sortedVecs
+}
+
+// rotate applies the Jacobi rotation J(p,q,c,s) to w (two-sided) and
+// accumulates it into v (one-sided): w ← JᵀwJ, v ← vJ.
+func rotate(w, v *Matrix, p, q int, c, s float64) {
+	n := w.Rows
+	for i := 0; i < n; i++ {
+		wip, wiq := w.At(i, p), w.At(i, q)
+		w.Set(i, p, c*wip-s*wiq)
+		w.Set(i, q, s*wip+c*wiq)
+	}
+	for j := 0; j < n; j++ {
+		wpj, wqj := w.At(p, j), w.At(q, j)
+		w.Set(p, j, c*wpj-s*wqj)
+		w.Set(q, j, s*wpj+c*wqj)
+	}
+	for i := 0; i < n; i++ {
+		vip, viq := v.At(i, p), v.At(i, q)
+		v.Set(i, p, c*vip-s*viq)
+		v.Set(i, q, s*vip+c*viq)
+	}
+}
+
+func offDiagNorm(m *Matrix) float64 {
+	var s float64
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if i != j {
+				s += m.At(i, j) * m.At(i, j)
+			}
+		}
+	}
+	return math.Sqrt(s)
+}
+
+func frobNorm(m *Matrix) float64 { return Norm(m.Data) }
+
+// SVDThin computes a thin singular value decomposition A = U·diag(s)·Vᵀ for a
+// small matrix with Rows >= Cols, via the eigendecomposition of AᵀA. Singular
+// values are returned in descending order. U is Rows×Cols, V is Cols×Cols.
+//
+// Columns of U whose singular value is numerically zero are left as zero
+// vectors; callers that need a full orthonormal U (none in this repository)
+// must complete the basis themselves.
+func SVDThin(a *Matrix) (u *Matrix, s []float64, v *Matrix) {
+	if a.Rows < a.Cols {
+		panic("vec: SVDThin requires Rows >= Cols")
+	}
+	gram := a.Gram() // AᵀA, Cols×Cols
+	evals, evecs := EigSym(gram)
+	n := a.Cols
+	s = make([]float64, n)
+	for i := range s {
+		if evals[i] > 0 {
+			s[i] = math.Sqrt(evals[i])
+		}
+	}
+	v = evecs
+	// U = A·V·diag(1/s)
+	u = Mul(a, v)
+	for j := 0; j < n; j++ {
+		if s[j] > 1e-12*s[0] {
+			inv := 1 / s[j]
+			for i := 0; i < u.Rows; i++ {
+				u.Set(i, j, u.At(i, j)*inv)
+			}
+		} else {
+			for i := 0; i < u.Rows; i++ {
+				u.Set(i, j, 0)
+			}
+		}
+	}
+	return u, s, v
+}
+
+// Procrustes returns the orthogonal matrix R minimising ‖A - B·R‖_F, i.e. the
+// solution of the orthogonal Procrustes problem R = U·Vᵀ where BᵀA = U·S·Vᵀ.
+// Used by the ITQ baseline's rotation update. When BᵀA is (numerically) rank
+// deficient the U factor is re-orthonormalised so the result is always a true
+// orthogonal matrix (any completion of the null space is optimal).
+func Procrustes(a, b *Matrix) *Matrix {
+	m := TMul(b, a) // BᵀA, square when A and B share the code width
+	if m.Rows != m.Cols {
+		panic("vec: Procrustes requires matching column counts")
+	}
+	u, _, v := SVDThin(m)
+	OrthonormalizeColumns(u)
+	return Mul(u, v.Transpose())
+}
+
+// OrthonormalizeColumns applies modified Gram–Schmidt to the columns of m in
+// place. Columns that become numerically zero (or were zero, as SVDThin
+// leaves them for null singular values) are replaced by unit basis vectors
+// orthogonalised against the columns already processed, so the result always
+// has fully orthonormal columns.
+func OrthonormalizeColumns(m *Matrix) {
+	col := make([]float64, m.Rows)
+	setCol := func(j int, c []float64) {
+		for i := 0; i < m.Rows; i++ {
+			m.Set(i, j, c[i])
+		}
+	}
+	orthogonalize := func(c []float64, upto int) {
+		for k := 0; k < upto; k++ {
+			prev := m.Col(k, nil)
+			Axpy(-Dot(prev, c), prev, c)
+		}
+	}
+	for j := 0; j < m.Cols; j++ {
+		m.Col(j, col)
+		orthogonalize(col, j)
+		n := Norm(col)
+		if n < 1e-8 {
+			// Replace with a basis vector not spanned by earlier columns.
+			for e := 0; e < m.Rows; e++ {
+				for i := range col {
+					col[i] = 0
+				}
+				col[e] = 1
+				orthogonalize(col, j)
+				n = Norm(col)
+				if n >= 1e-8 {
+					break
+				}
+			}
+		}
+		Scale(1/n, col)
+		setCol(j, col)
+	}
+}

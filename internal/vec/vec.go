@@ -1,0 +1,246 @@
+// Package vec provides the small dense linear-algebra kernels used by the
+// ParMAC reproduction: vectors, row-major matrices, Cholesky solves, a Jacobi
+// symmetric eigensolver and a small-matrix SVD. It replaces the GSL/BLAS
+// substrate of the original C++ implementation (paper §7) with pure Go.
+//
+// Everything here is deliberately simple: the factorisations ParMAC needs are
+// tiny (L×L for the relaxed Z step, D×D for PCA), so clarity beats blocked
+// kernels.
+package vec
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dot returns the inner product of a and b. The slices must have equal length.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha*x in place.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("vec: Axpy length mismatch %d vs %d", len(x), len(y)))
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Scale multiplies x by alpha in place.
+func Scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// SqNorm returns the squared Euclidean norm of x.
+func SqNorm(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of x.
+func Norm(x []float64) float64 { return math.Sqrt(SqNorm(x)) }
+
+// SqDist returns the squared Euclidean distance between a and b.
+func SqDist(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: SqDist length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Clone returns a fresh copy of x.
+func Clone(x []float64) []float64 {
+	y := make([]float64, len(x))
+	copy(y, x)
+	return y
+}
+
+// Matrix is a dense row-major matrix. Row i occupies
+// Data[i*Cols : (i+1)*Cols]. The zero value is an empty matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zeroed rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("vec: negative matrix dimensions")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set stores v at element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Add adds v to element (i, j).
+func (m *Matrix) Add(i, j int, v float64) { m.Data[i*m.Cols+j] += v }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Col copies column j into dst (allocated if nil) and returns it.
+func (m *Matrix) Col(j int, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, m.Rows)
+	}
+	for i := 0; i < m.Rows; i++ {
+		dst[i] = m.At(i, j)
+	}
+	return dst
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Fill sets every element to v.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// MulVec computes dst = M·x. dst is allocated when nil; it must not alias x.
+func (m *Matrix) MulVec(x, dst []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("vec: MulVec needs len(x)=%d, got %d", m.Cols, len(x)))
+	}
+	if dst == nil {
+		dst = make([]float64, m.Rows)
+	}
+	for i := 0; i < m.Rows; i++ {
+		dst[i] = Dot(m.Row(i), x)
+	}
+	return dst
+}
+
+// TMulVec computes dst = Mᵀ·x. dst is allocated when nil; it must not alias x.
+func (m *Matrix) TMulVec(x, dst []float64) []float64 {
+	if len(x) != m.Rows {
+		panic(fmt.Sprintf("vec: TMulVec needs len(x)=%d, got %d", m.Rows, len(x)))
+	}
+	if dst == nil {
+		dst = make([]float64, m.Cols)
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < m.Rows; i++ {
+		Axpy(x[i], m.Row(i), dst)
+	}
+	return dst
+}
+
+// Mul computes A·B into a new matrix.
+func Mul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("vec: Mul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		ar := a.Row(i)
+		cr := c.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			Axpy(ar[k], b.Row(k), cr)
+		}
+	}
+	return c
+}
+
+// TMul computes Aᵀ·B into a new matrix.
+func TMul(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("vec: TMul shape mismatch %dx%d ᵀ· %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := NewMatrix(a.Cols, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		ar := a.Row(i)
+		br := b.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			Axpy(ar[k], br, c.Row(k))
+		}
+	}
+	return c
+}
+
+// Transpose returns Aᵀ as a new matrix.
+func (m *Matrix) Transpose() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Gram computes AᵀA (Cols×Cols, symmetric).
+func (m *Matrix) Gram() *Matrix { return TMul(m, m) }
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// AddScaledIdentity adds alpha to the diagonal of a square matrix in place.
+func (m *Matrix) AddScaledIdentity(alpha float64) {
+	if m.Rows != m.Cols {
+		panic("vec: AddScaledIdentity on non-square matrix")
+	}
+	for i := 0; i < m.Rows; i++ {
+		m.Add(i, i, alpha)
+	}
+}
+
+// FillGaussian fills m with N(0, sigma²) samples from rng.
+func (m *Matrix) FillGaussian(rng *rand.Rand, sigma float64) {
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * sigma
+	}
+}
+
+// MaxAbsDiff returns max |a_ij - b_ij|; the matrices must share a shape.
+func MaxAbsDiff(a, b *Matrix) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("vec: MaxAbsDiff shape mismatch")
+	}
+	var m float64
+	for i, v := range a.Data {
+		d := math.Abs(v - b.Data[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
