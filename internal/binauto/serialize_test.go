@@ -2,11 +2,22 @@ package binauto
 
 import (
 	"bytes"
+	"encoding/gob"
+	"encoding/hex"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/sgd"
+	"repro/internal/svm"
 )
+
+var update = flag.Bool("update", false, "rewrite golden files")
 
 func TestSaveLoadRoundTrip(t *testing.T) {
 	ds := dataset.GISTLike(120, 6, 4, 21)
@@ -29,6 +40,181 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 	if m.EBA(ds) != back.EBA(ds) {
 		t.Fatal("EBA differs after round trip")
+	}
+}
+
+// checkGolden compares got against the named golden file, rewriting it under
+// -update. Golden files pin the wire/disk formats: an accidental change to
+// either fails here instead of silently breaking cross-version clusters or
+// saved models.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test -run %s -update): %v", t.Name(), err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from golden file (%d vs %d bytes).\nIf the change is intentional, regenerate with -update and flag it in the PR: old workers cannot talk to new coordinators across a format change.", name, len(got), len(want))
+	}
+}
+
+// fixedModel builds a deterministic 2-bit, 3-dimensional model by hand.
+func fixedModel() *Model {
+	m := &Model{Dec: NewDecoder(2, 3)}
+	for b := 0; b < 2; b++ {
+		lin := svm.NewLinear(3, 1e-5)
+		for j := range lin.W {
+			lin.W[j] = float64(b+1) * (0.25 + float64(j)/8)
+		}
+		lin.B = -0.5 * float64(b)
+		m.Enc = append(m.Enc, lin)
+	}
+	for l := 0; l < 2; l++ {
+		for d := 0; d < 3; d++ {
+			m.Dec.W.Set(l, d, float64(l)-float64(d)/4)
+		}
+	}
+	m.Dec.C = []float64{0.125, -0.25, 0.5}
+	return m
+}
+
+func TestModelJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fixedModel().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "model.golden.json", buf.Bytes())
+}
+
+// fixedEncoderSub/fixedDecoderSub are deterministic circulating submodels
+// with non-trivial optimiser state (schedule mid-decay, auto-tune armed).
+func fixedEncoderSub() *encoderSub {
+	lin := svm.NewLinear(3, 1e-5)
+	lin.W = []float64{0.5, -1.25, 2}
+	lin.B = 0.75
+	lin.Sched = sgd.NewSchedule(0.02, 1e-5)
+	lin.Sched.SetSteps(137)
+	return &encoderSub{id: 1, bit: 1, svm: lin, tuned: true}
+}
+
+func fixedDecoderSub() *decoderSub {
+	d := newDecoderSub(3, 2, []int{0, 2}, 1e-4)
+	for i := range d.w.Data {
+		d.w.Data[i] = float64(i) - 1.5
+	}
+	d.c = []float64{0.25, -0.75}
+	d.sched = sgd.NewSchedule(0.005, 1e-4)
+	d.sched.SetSteps(42)
+	d.tuned = true
+	return d
+}
+
+func TestSubmodelGobRoundTrip(t *testing.T) {
+	// Submodels travel as core.Submodel interface values inside tokens, so
+	// the round trip must go through the interface machinery (registration +
+	// GobEncode/GobDecode), exactly as the TCP transport does.
+	subs := []core.Submodel{fixedEncoderSub(), fixedDecoderSub()}
+	for _, orig := range subs {
+		var buf bytes.Buffer
+		src := orig
+		if err := gob.NewEncoder(&buf).Encode(&src); err != nil {
+			t.Fatalf("%T: encode: %v", orig, err)
+		}
+		var back core.Submodel
+		if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&back); err != nil {
+			t.Fatalf("%T: decode: %v", orig, err)
+		}
+		if !reflect.DeepEqual(orig, back) {
+			t.Fatalf("%T: round trip lost state:\norig %#v\nback %#v", orig, orig, back)
+		}
+	}
+}
+
+func TestSubmodelGobCarriesOptimiserState(t *testing.T) {
+	var buf bytes.Buffer
+	var src core.Submodel = fixedEncoderSub()
+	if err := gob.NewEncoder(&buf).Encode(&src); err != nil {
+		t.Fatal(err)
+	}
+	var back core.Submodel
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&back); err != nil {
+		t.Fatal(err)
+	}
+	e := back.(*encoderSub)
+	if !e.tuned {
+		t.Fatal("auto-tune flag lost: the submodel would re-tune on the next machine")
+	}
+	if got := e.svm.Sched.Steps(); got != 137 {
+		t.Fatalf("schedule position lost: %v steps, want 137 — learning-rate decay would restart", got)
+	}
+}
+
+// TestSubmodelWireGolden decodes byte streams committed when the wire format
+// was defined. Gob descriptor IDs are assigned in process-global first-use
+// order, so encoded bytes are not stable across runs — but decodability of
+// old bytes is exactly the compatibility that matters: a worker built today
+// must understand tokens from the committed format. -update re-captures the
+// current encoding.
+func TestSubmodelWireGolden(t *testing.T) {
+	cases := []struct {
+		file string
+		want core.Submodel
+		into core.Submodel
+	}{
+		{"encoder_sub.golden.hex", fixedEncoderSub(), &encoderSub{}},
+		{"decoder_sub.golden.hex", fixedDecoderSub(), &decoderSub{}},
+	}
+	for _, c := range cases {
+		if *update {
+			raw, err := c.want.(gob.GobEncoder).GobEncode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, c.file, []byte(hex.EncodeToString(raw)+"\n"))
+			continue
+		}
+		hexBytes, err := os.ReadFile(filepath.Join("testdata", c.file))
+		if err != nil {
+			t.Fatalf("missing golden file (run go test -run %s -update): %v", t.Name(), err)
+		}
+		raw, err := hex.DecodeString(strings.TrimSpace(string(hexBytes)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.into.(gob.GobDecoder).GobDecode(raw); err != nil {
+			t.Fatalf("%s: committed wire bytes no longer decode — the format drifted incompatibly: %v", c.file, err)
+		}
+		if !reflect.DeepEqual(c.into, c.want) {
+			t.Fatalf("%s: committed wire bytes decode to different state:\ngot  %#v\nwant %#v", c.file, c.into, c.want)
+		}
+	}
+}
+
+func TestSubmodelDecodeRejectsMalformed(t *testing.T) {
+	bad := decoderWire{ID: 3, Dims: []int{0, 2}, L: 2, W: []float64{1}, C: []float64{0, 0}, Eta0: 0.01}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&bad); err != nil {
+		t.Fatal(err)
+	}
+	var d decoderSub
+	if err := d.GobDecode(buf.Bytes()); err == nil {
+		t.Fatal("inconsistent decoder shape must not decode")
+	}
+	var e encoderSub
+	badEnc := encoderWire{ID: 0, W: []float64{1}, Eta0: 0}
+	buf.Reset()
+	if err := gob.NewEncoder(&buf).Encode(&badEnc); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.GobDecode(buf.Bytes()); err == nil {
+		t.Fatal("invalid schedule must not decode")
 	}
 }
 

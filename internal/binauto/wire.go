@@ -1,0 +1,119 @@
+package binauto
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/sgd"
+	"repro/internal/svm"
+	"repro/internal/vec"
+)
+
+// Wire encoding of the BA's circulating submodels, used when ParMAC runs
+// across OS processes (cluster/tcp): instead of passing pointers, the fabric
+// gob-serializes tokens, and the submodels inside them serialize through
+// these GobEncoder/GobDecoder implementations. The encoding must carry the
+// full training state — parameters AND optimiser state (SGD schedule
+// position, the per-iteration auto-tune flag) — so a submodel resumes on the
+// next machine exactly where it left off, byte-for-byte equal to the
+// in-process run. Wire structs are versioned by shape: changing them breaks
+// the golden-file tests in serialize_test.go, which is the point.
+
+// encoderWire is the on-the-wire form of encoderSub.
+type encoderWire struct {
+	ID, Bit     int
+	W           []float64
+	B           float64
+	Lambda      float64
+	Eta0        float64
+	SchedLambda float64
+	Steps       float64
+	Tuned       bool
+}
+
+// GobEncode implements gob.GobEncoder.
+func (e *encoderSub) GobEncode() ([]byte, error) {
+	w := encoderWire{
+		ID: e.id, Bit: e.bit,
+		W: e.svm.W, B: e.svm.B, Lambda: e.svm.Lambda,
+		Eta0: e.svm.Sched.Eta0, SchedLambda: e.svm.Sched.Lambda, Steps: e.svm.Sched.Steps(),
+		Tuned: e.tuned,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&w); err != nil {
+		return nil, fmt.Errorf("binauto: encode encoder submodel: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (e *encoderSub) GobDecode(b []byte) error {
+	var w encoderWire
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
+		return fmt.Errorf("binauto: decode encoder submodel: %w", err)
+	}
+	if w.Eta0 <= 0 {
+		return fmt.Errorf("binauto: encoder submodel %d has invalid schedule eta0 %v", w.ID, w.Eta0)
+	}
+	lin := &svm.Linear{W: w.W, B: w.B, Lambda: w.Lambda, Sched: sgd.NewSchedule(w.Eta0, w.SchedLambda)}
+	lin.Sched.SetSteps(w.Steps)
+	*e = encoderSub{id: w.ID, bit: w.Bit, svm: lin, tuned: w.Tuned}
+	return nil
+}
+
+// decoderWire is the on-the-wire form of decoderSub.
+type decoderWire struct {
+	ID          int
+	Dims        []int
+	L           int // rows of the weight matrix
+	W           []float64
+	C           []float64
+	Lambda      float64
+	Eta0        float64
+	SchedLambda float64
+	Steps       float64
+	Tuned       bool
+}
+
+// GobEncode implements gob.GobEncoder.
+func (d *decoderSub) GobEncode() ([]byte, error) {
+	w := decoderWire{
+		ID: d.id, Dims: d.dims, L: d.w.Rows, W: d.w.Data, C: d.c, Lambda: d.lambda,
+		Eta0: d.sched.Eta0, SchedLambda: d.sched.Lambda, Steps: d.sched.Steps(),
+		Tuned: d.tuned,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&w); err != nil {
+		return nil, fmt.Errorf("binauto: encode decoder submodel: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (d *decoderSub) GobDecode(b []byte) error {
+	var w decoderWire
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
+		return fmt.Errorf("binauto: decode decoder submodel: %w", err)
+	}
+	if w.L <= 0 || len(w.W) != w.L*len(w.Dims) || len(w.C) != len(w.Dims) {
+		return fmt.Errorf("binauto: decoder submodel %d has inconsistent shape (L=%d dims=%d w=%d c=%d)",
+			w.ID, w.L, len(w.Dims), len(w.W), len(w.C))
+	}
+	if w.Eta0 <= 0 {
+		return fmt.Errorf("binauto: decoder submodel %d has invalid schedule eta0 %v", w.ID, w.Eta0)
+	}
+	sched := sgd.NewSchedule(w.Eta0, w.SchedLambda)
+	sched.SetSteps(w.Steps)
+	*d = decoderSub{
+		id: w.ID, dims: w.Dims,
+		w: &vec.Matrix{Rows: w.L, Cols: len(w.Dims), Data: w.W},
+		c: w.C, lambda: w.Lambda, sched: sched, tuned: w.Tuned,
+	}
+	return nil
+}
+
+func init() {
+	gob.Register(&encoderSub{})
+	gob.Register(&decoderSub{})
+}

@@ -1,9 +1,15 @@
-// Package cluster is the in-process message-passing fabric that replaces MPI
-// in this reproduction (paper §7 and appendix B). Each "machine" is a rank
-// with an inbox; sends are buffered and non-blocking like MPI_Bsend, receives
-// block like MPI_Recv and support tag filtering and MPI_ANY_SOURCE/ANY_TAG
+// Package cluster is the message-passing fabric that replaces MPI in this
+// reproduction (paper §7 and appendix B). Each "machine" is a rank with an
+// inbox; sends are buffered and non-blocking like MPI_Bsend, receives block
+// like MPI_Recv and support tag filtering and MPI_ANY_SOURCE/ANY_TAG
 // wildcards. A cyclic barrier mirrors MPI_Barrier, and Bcast/AllGather mirror
 // the collectives listed in the paper's appendix B.
+//
+// The fabric is pluggable: a Comm implements all of the above generically on
+// top of a raw transport Endpoint, so every backend — the in-process channel
+// Network here, the multi-process TCP backend in cluster/tcp — shares one
+// semantics, enforced by the cross-backend conformance suite
+// (conformance_test.go).
 //
 // Message and byte counters make the communication volume observable, which
 // is what the speedup analysis of §5 is about: ParMAC sends the entire model
@@ -12,15 +18,26 @@ package cluster
 
 import (
 	"fmt"
-	"sync"
+	"math"
 	"sync/atomic"
 )
 
-// AnyTag matches any message tag in Recv (MPI_ANY_TAG).
+// AnyTag matches any non-internal message tag in Recv (MPI_ANY_TAG).
 const AnyTag = -1
 
 // AnySource matches any sender in RecvFrom (MPI_ANY_SOURCE).
 const AnySource = -1
+
+// Internal tags used by Comm itself (barrier protocol). They live at the
+// bottom of the tag space and are invisible to AnyTag wildcards, so they can
+// never be confused with application traffic.
+const (
+	internalTagCeil   = math.MinInt + 16
+	tagBarrierArrive  = math.MinInt
+	tagBarrierRelease = math.MinInt + 1
+)
+
+func isInternalTag(tag int) bool { return tag < internalTagCeil }
 
 // Message is a delivered payload with its envelope.
 type Message struct {
@@ -30,91 +47,57 @@ type Message struct {
 	Bytes   int // accounted size of the payload
 }
 
-// Network is the shared fabric connecting P ranks.
-type Network struct {
-	size    int
-	inboxes []chan Message
-	bar     *barrier
-
-	messages atomic.Int64
-	bytes    atomic.Int64
-	sentBy   []atomic.Int64
-}
-
-// DefaultInboxCapacity bounds in-flight messages per rank. ParMAC keeps at
-// most M submodels + P final-round copies in flight, so this is generous.
-const DefaultInboxCapacity = 1 << 14
-
-// NewNetwork creates a fabric with p ranks.
-func NewNetwork(p int) *Network {
-	if p <= 0 {
-		panic("cluster: need at least one rank")
-	}
-	n := &Network{
-		size:    p,
-		inboxes: make([]chan Message, p),
-		bar:     newBarrier(p),
-		sentBy:  make([]atomic.Int64, p),
-	}
-	for i := range n.inboxes {
-		n.inboxes[i] = make(chan Message, DefaultInboxCapacity)
-	}
-	return n
-}
-
-// Size returns the number of ranks.
-func (n *Network) Size() int { return n.size }
-
-// Comm returns the communicator endpoint for the given rank. Each endpoint
-// must be used by a single goroutine (as one MPI process would).
-func (n *Network) Comm(rank int) *Comm {
-	if rank < 0 || rank >= n.size {
-		panic(fmt.Sprintf("cluster: rank %d out of range [0,%d)", rank, n.size))
-	}
-	return &Comm{net: n, rank: rank}
-}
-
-// Stats is a snapshot of fabric-wide communication counters.
+// Stats is a snapshot of communication counters.
 type Stats struct {
 	Messages int64
 	Bytes    int64
 }
 
-// Stats returns the message and byte totals so far.
-func (n *Network) Stats() Stats {
-	return Stats{Messages: n.messages.Load(), Bytes: n.bytes.Load()}
-}
-
-// SentBy returns how many messages the given rank has sent.
-func (n *Network) SentBy(rank int) int64 { return n.sentBy[rank].Load() }
-
-// Comm is one rank's endpoint: its inbox plus a local queue of messages that
-// were received but did not match the requested tag (MPI implementations do
-// the same internally to honour tag matching).
+// Comm is one rank's communicator: the transport endpoint plus a local queue
+// of messages that were received but did not match the requested tag (MPI
+// implementations do the same internally to honour tag matching). Each Comm
+// must be used by a single goroutine (as one MPI process would).
 type Comm struct {
-	net     *Network
-	rank    int
+	ep      Endpoint
 	pending []Message
+
+	sentMsgs  atomic.Int64
+	sentBytes atomic.Int64
 }
+
+// NewComm wraps a transport endpoint in a communicator. Backends call this;
+// application code obtains Comms from a Network, a Fabric or tcp.Connect.
+func NewComm(ep Endpoint) *Comm { return &Comm{ep: ep} }
 
 // Rank returns this endpoint's rank.
-func (c *Comm) Rank() int { return c.rank }
+func (c *Comm) Rank() int { return c.ep.Rank() }
 
 // Size returns the fabric size.
-func (c *Comm) Size() int { return c.net.size }
+func (c *Comm) Size() int { return c.ep.Size() }
+
+// Close releases the underlying endpoint. Only call once the rank is done
+// communicating; messages still in flight to this rank may be dropped.
+func (c *Comm) Close() error { return c.ep.Close() }
+
+// Stats returns how many messages and payload bytes this rank has sent.
+func (c *Comm) Stats() Stats {
+	return Stats{Messages: c.sentMsgs.Load(), Bytes: c.sentBytes.Load()}
+}
 
 // Send delivers payload to rank `to` with the given tag, accounting `bytes`
 // toward the communication counters. Like MPI_Bsend it does not wait for the
 // receiver; it only blocks if the destination inbox is full (bounded
 // buffering).
 func (c *Comm) Send(to, tag int, payload any, bytes int) {
-	if to < 0 || to >= c.net.size {
+	if to < 0 || to >= c.ep.Size() {
 		panic(fmt.Sprintf("cluster: Send to invalid rank %d", to))
 	}
-	c.net.messages.Add(1)
-	c.net.bytes.Add(int64(bytes))
-	c.net.sentBy[c.rank].Add(1)
-	c.net.inboxes[to] <- Message{From: c.rank, Tag: tag, Payload: payload, Bytes: bytes}
+	if isInternalTag(tag) {
+		panic(fmt.Sprintf("cluster: tag %d is reserved", tag))
+	}
+	c.sentMsgs.Add(1)
+	c.sentBytes.Add(int64(bytes))
+	c.ep.Deliver(to, Message{From: c.ep.Rank(), Tag: tag, Payload: payload, Bytes: bytes})
 }
 
 // Recv blocks until a message with the given tag (or any, with AnyTag)
@@ -128,7 +111,7 @@ func (c *Comm) RecvFrom(from, tag int) Message {
 		return m
 	}
 	for {
-		m := <-c.net.inboxes[c.rank]
+		m := c.ep.Next()
 		if matches(m, from, tag) {
 			return m
 		}
@@ -142,15 +125,14 @@ func (c *Comm) TryRecv(tag int) (Message, bool) {
 		return m, true
 	}
 	for {
-		select {
-		case m := <-c.net.inboxes[c.rank]:
-			if matches(m, AnySource, tag) {
-				return m, true
-			}
-			c.pending = append(c.pending, m)
-		default:
+		m, ok := c.ep.TryNext()
+		if !ok {
 			return Message{}, false
 		}
+		if matches(m, AnySource, tag) {
+			return m, true
+		}
+		c.pending = append(c.pending, m)
 	}
 }
 
@@ -165,18 +147,62 @@ func (c *Comm) takePending(from, tag int) (Message, bool) {
 }
 
 func matches(m Message, from, tag int) bool {
-	return (tag == AnyTag || m.Tag == tag) && (from == AnySource || m.From == from)
+	if tag == AnyTag {
+		if isInternalTag(m.Tag) {
+			return false
+		}
+	} else if m.Tag != tag {
+		return false
+	}
+	return from == AnySource || m.From == from
 }
 
 // Barrier blocks until every rank has called it (MPI_Barrier). It is cyclic:
-// it can be reused any number of times.
-func (c *Comm) Barrier() { c.net.bar.await() }
+// it can be reused any number of times. The protocol is a counting barrier
+// over the transport itself — rank 0 gathers one arrival per rank, then
+// releases everyone — so it works identically on every backend. Barrier
+// traffic uses reserved tags and is not counted in Stats.
+func (c *Comm) Barrier() {
+	size := c.ep.Size()
+	if size == 1 {
+		return
+	}
+	rank := c.ep.Rank()
+	if rank == 0 {
+		for i := 0; i < size-1; i++ {
+			c.recvInternal(AnySource, tagBarrierArrive)
+		}
+		for r := 1; r < size; r++ {
+			c.ep.Deliver(r, Message{From: rank, Tag: tagBarrierRelease})
+		}
+		return
+	}
+	c.ep.Deliver(0, Message{From: rank, Tag: tagBarrierArrive})
+	c.recvInternal(0, tagBarrierRelease)
+}
+
+// recvInternal is RecvFrom for reserved tags (exact match only).
+func (c *Comm) recvInternal(from, tag int) Message {
+	for i, m := range c.pending {
+		if m.Tag == tag && (from == AnySource || m.From == from) {
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			return m
+		}
+	}
+	for {
+		m := c.ep.Next()
+		if m.Tag == tag && (from == AnySource || m.From == from) {
+			return m
+		}
+		c.pending = append(c.pending, m)
+	}
+}
 
 // Bcast sends payload from root to every other rank under the given tag and
 // returns the (possibly received) value at every rank, mirroring MPI_Bcast.
 func (c *Comm) Bcast(root, tag int, payload any, bytes int) any {
-	if c.rank == root {
-		for r := 0; r < c.net.size; r++ {
+	if c.ep.Rank() == root {
+		for r := 0; r < c.ep.Size(); r++ {
 			if r != root {
 				c.Send(r, tag, payload, bytes)
 			}
@@ -189,48 +215,16 @@ func (c *Comm) Bcast(root, tag int, payload any, bytes int) any {
 // AllGather collects one payload from every rank at every rank, mirroring
 // MPI_Allgather. The result is indexed by rank.
 func (c *Comm) AllGather(tag int, payload any, bytes int) []any {
-	for r := 0; r < c.net.size; r++ {
-		if r != c.rank {
+	for r := 0; r < c.ep.Size(); r++ {
+		if r != c.ep.Rank() {
 			c.Send(r, tag, payload, bytes)
 		}
 	}
-	out := make([]any, c.net.size)
-	out[c.rank] = payload
-	for i := 0; i < c.net.size-1; i++ {
+	out := make([]any, c.ep.Size())
+	out[c.ep.Rank()] = payload
+	for i := 0; i < c.ep.Size()-1; i++ {
 		m := c.Recv(tag)
 		out[m.From] = m.Payload
 	}
 	return out
-}
-
-// barrier is a reusable (cyclic) barrier.
-type barrier struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	size  int
-	count int
-	gen   int
-}
-
-func newBarrier(size int) *barrier {
-	b := &barrier{size: size}
-	b.cond = sync.NewCond(&b.mu)
-	return b
-}
-
-func (b *barrier) await() {
-	b.mu.Lock()
-	gen := b.gen
-	b.count++
-	if b.count == b.size {
-		b.count = 0
-		b.gen++
-		b.cond.Broadcast()
-		b.mu.Unlock()
-		return
-	}
-	for gen == b.gen {
-		b.cond.Wait()
-	}
-	b.mu.Unlock()
 }

@@ -28,13 +28,13 @@ func OpMax(dst, src []float64) {
 // result there (nil elsewhere), mirroring MPI_Reduce. All ranks must call it
 // with equal-length vectors.
 func (c *Comm) Reduce(root, tag int, contrib []float64, op ReduceOp) []float64 {
-	if c.rank != root {
+	if c.Rank() != root {
 		c.Send(root, tag, contrib, 8*len(contrib))
 		return nil
 	}
 	acc := make([]float64, len(contrib))
 	copy(acc, contrib)
-	for i := 0; i < c.net.size-1; i++ {
+	for i := 0; i < c.Size()-1; i++ {
 		m := c.Recv(tag)
 		src := m.Payload.([]float64)
 		if len(src) != len(acc) {

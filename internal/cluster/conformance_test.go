@@ -1,0 +1,379 @@
+// Cross-backend conformance suite: one scenario table, executed against
+// every transport in the registry. A new backend inherits the whole suite by
+// calling cluster.RegisterTransport in its init — nothing here names a
+// backend. The scenarios pin down the delivery contract the ParMAC engine
+// relies on: per-sender FIFO, tag filtering with AnySource/AnyTag wildcards,
+// cyclic barriers, Bcast/AllGather/Reduce collectives, byte accounting, full
+// ring circulation, and bounded-inbox backpressure.
+package cluster_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	_ "repro/internal/cluster/tcp" // register the TCP backend
+)
+
+// scenario is one conformance case, run once per registered transport.
+type scenario struct {
+	name string
+	p    int
+	opts []cluster.Option
+	run  func(t *testing.T, fab cluster.Fabric)
+}
+
+var scenarios = []scenario{
+	{"SendRecvEnvelope", 2, nil, scenarioSendRecvEnvelope},
+	{"FIFOPerSender", 2, nil, scenarioFIFOPerSender},
+	{"TagFiltering", 2, nil, scenarioTagFiltering},
+	{"AnySourceAnyTag", 3, nil, scenarioAnySourceAnyTag},
+	{"RecvFromBuffers", 3, nil, scenarioRecvFromBuffers},
+	{"TryRecv", 2, nil, scenarioTryRecv},
+	{"BarrierCycles", 6, nil, scenarioBarrierCycles},
+	{"Bcast", 4, nil, scenarioBcast},
+	{"AllGather", 5, nil, scenarioAllGather},
+	{"ReduceAllReduce", 4, nil, scenarioReduceAllReduce},
+	{"ByteAccounting", 3, nil, scenarioByteAccounting},
+	{"RingCirculation", 5, nil, scenarioRingCirculation},
+	{"SlowRankBackpressure", 4, []cluster.Option{cluster.WithInboxCapacity(2)}, scenarioSlowRank},
+}
+
+func TestConformance(t *testing.T) {
+	names := cluster.TransportNames()
+	if len(names) < 2 {
+		t.Fatalf("expected at least two registered transports, have %v", names)
+	}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			for _, sc := range scenarios {
+				t.Run(sc.name, func(t *testing.T) {
+					fab, err := cluster.NewFabric(name, sc.p, sc.opts...)
+					if err != nil {
+						t.Fatalf("building %s fabric: %v", name, err)
+					}
+					defer fab.Close()
+					done := make(chan struct{})
+					go func() {
+						defer close(done)
+						sc.run(t, fab)
+					}()
+					select {
+					case <-done:
+					case <-time.After(60 * time.Second):
+						t.Fatalf("scenario deadlocked on transport %s", name)
+					}
+				})
+			}
+		})
+	}
+}
+
+// eachRank runs body concurrently on every rank and waits — the SPMD pattern
+// of every MPI program.
+func eachRank(fab cluster.Fabric, body func(c *cluster.Comm)) {
+	var wg sync.WaitGroup
+	for r := 0; r < fab.Size(); r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			body(fab.Comm(r))
+		}(r)
+	}
+	wg.Wait()
+}
+
+func scenarioSendRecvEnvelope(t *testing.T, fab cluster.Fabric) {
+	eachRank(fab, func(c *cluster.Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(1, 7, "hello", 5)
+		case 1:
+			m := c.Recv(7)
+			if m.From != 0 || m.Tag != 7 || m.Payload.(string) != "hello" || m.Bytes != 5 {
+				t.Errorf("message envelope = %+v", m)
+			}
+		}
+	})
+}
+
+func scenarioFIFOPerSender(t *testing.T, fab cluster.Fabric) {
+	const n = 200
+	eachRank(fab, func(c *cluster.Comm) {
+		switch c.Rank() {
+		case 0:
+			for i := 0; i < n; i++ {
+				c.Send(1, 1, i, 8)
+			}
+		case 1:
+			for i := 0; i < n; i++ {
+				if m := c.Recv(1); m.Payload.(int) != i {
+					t.Errorf("out of order: got %v want %d", m.Payload, i)
+					return
+				}
+			}
+		}
+	})
+}
+
+func scenarioTagFiltering(t *testing.T, fab cluster.Fabric) {
+	eachRank(fab, func(c *cluster.Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(1, 1, "a", 1)
+			c.Send(1, 2, "b", 1)
+			c.Send(1, 1, "c", 1)
+		case 1:
+			if m := c.Recv(2); m.Payload.(string) != "b" {
+				t.Errorf("tag filter broken: %v", m.Payload)
+			}
+			if m := c.Recv(1); m.Payload.(string) != "a" {
+				t.Error("pending message lost or reordered")
+			}
+			if m := c.Recv(cluster.AnyTag); m.Payload.(string) != "c" {
+				t.Error("AnyTag should drain the remaining message")
+			}
+		}
+	})
+}
+
+func scenarioAnySourceAnyTag(t *testing.T, fab cluster.Fabric) {
+	eachRank(fab, func(c *cluster.Comm) {
+		switch c.Rank() {
+		case 0, 1:
+			c.Send(2, 10+c.Rank(), c.Rank(), 8)
+		case 2:
+			seen := map[int]bool{}
+			for i := 0; i < 2; i++ {
+				m := c.Recv(cluster.AnyTag)
+				if m.Tag != 10+m.From {
+					t.Errorf("mismatched envelope %+v", m)
+				}
+				seen[m.From] = true
+			}
+			if !seen[0] || !seen[1] {
+				t.Errorf("wildcard recv missed a sender: %v", seen)
+			}
+		}
+	})
+}
+
+func scenarioRecvFromBuffers(t *testing.T, fab cluster.Fabric) {
+	eachRank(fab, func(c *cluster.Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(2, 1, "from0", 1)
+		case 1:
+			c.Send(2, 1, "from1", 1)
+		case 2:
+			if m := c.RecvFrom(1, 1); m.Payload.(string) != "from1" {
+				t.Error("RecvFrom wrong sender")
+			}
+			if m := c.RecvFrom(0, 1); m.Payload.(string) != "from0" {
+				t.Error("buffered message from rank 0 lost")
+			}
+		}
+	})
+}
+
+func scenarioTryRecv(t *testing.T, fab cluster.Fabric) {
+	eachRank(fab, func(c *cluster.Comm) {
+		switch c.Rank() {
+		case 0:
+			if _, ok := c.TryRecv(cluster.AnyTag); ok {
+				t.Error("TryRecv on empty inbox should fail")
+			}
+			c.Send(1, 3, 42, 8)
+			// Handshake so rank 1 polls only after delivery is certain.
+			c.Send(1, 4, nil, 0)
+		case 1:
+			c.Recv(4)
+			m, ok := c.TryRecv(3)
+			if !ok || m.Payload.(int) != 42 {
+				t.Error("TryRecv should find the delivered message")
+			}
+		}
+	})
+}
+
+func scenarioBarrierCycles(t *testing.T, fab cluster.Fabric) {
+	p := fab.Size()
+	phase := make([]int64, p)
+	var mu sync.Mutex
+	eachRank(fab, func(c *cluster.Comm) {
+		for round := 0; round < 5; round++ {
+			mu.Lock()
+			phase[c.Rank()] = int64(round)
+			mu.Unlock()
+			c.Barrier()
+			mu.Lock()
+			for other := 0; other < p; other++ {
+				if phase[other] < int64(round) {
+					t.Errorf("rank %d saw rank %d at phase %d < %d", c.Rank(), other, phase[other], round)
+				}
+			}
+			mu.Unlock()
+			c.Barrier()
+		}
+	})
+}
+
+func scenarioBcast(t *testing.T, fab cluster.Fabric) {
+	p := fab.Size()
+	results := make([]any, p)
+	eachRank(fab, func(c *cluster.Comm) {
+		var val any
+		if c.Rank() == 2 {
+			val = c.Bcast(2, 9, "root-value", 10)
+		} else {
+			val = c.Bcast(2, 9, nil, 0)
+		}
+		results[c.Rank()] = val
+	})
+	for r := 0; r < p; r++ {
+		if results[r].(string) != "root-value" {
+			t.Fatalf("rank %d got %v", r, results[r])
+		}
+	}
+}
+
+func scenarioAllGather(t *testing.T, fab cluster.Fabric) {
+	p := fab.Size()
+	out := make([][]any, p)
+	eachRank(fab, func(c *cluster.Comm) {
+		out[c.Rank()] = c.AllGather(4, c.Rank()*10, 8)
+	})
+	for r := 0; r < p; r++ {
+		for s := 0; s < p; s++ {
+			if out[r][s].(int) != s*10 {
+				t.Fatalf("rank %d slot %d = %v", r, s, out[r][s])
+			}
+		}
+	}
+}
+
+func scenarioReduceAllReduce(t *testing.T, fab cluster.Fabric) {
+	p := fab.Size()
+	sums := make([][]float64, p)
+	maxes := make([][]float64, p)
+	eachRank(fab, func(c *cluster.Comm) {
+		r := c.Rank()
+		sums[r] = c.Reduce(0, 5, []float64{float64(r), 1}, cluster.OpSum)
+		maxes[r] = c.AllReduce(6, []float64{float64(r * r)}, cluster.OpMax)
+	})
+	wantSum := float64(p*(p-1)) / 2
+	if sums[0][0] != wantSum || sums[0][1] != float64(p) {
+		t.Fatalf("root reduce = %v", sums[0])
+	}
+	wantMax := float64((p - 1) * (p - 1))
+	for r := 0; r < p; r++ {
+		if r != 0 && sums[r] != nil {
+			t.Fatalf("non-root rank %d got reduce result %v", r, sums[r])
+		}
+		if maxes[r][0] != wantMax {
+			t.Fatalf("rank %d allreduce = %v, want %v", r, maxes[r], wantMax)
+		}
+	}
+}
+
+func scenarioByteAccounting(t *testing.T, fab cluster.Fabric) {
+	eachRank(fab, func(c *cluster.Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(2, 1, "x", 100)
+			c.Send(2, 1, "y", 50)
+		case 1:
+			c.Send(2, 1, "z", 7)
+		case 2:
+			for i := 0; i < 3; i++ {
+				c.Recv(1)
+			}
+		}
+	})
+	st := fab.Stats()
+	if st.Messages != 3 || st.Bytes != 157 {
+		t.Fatalf("fabric stats = %+v, want 3 messages / 157 bytes", st)
+	}
+	if s := fab.Comm(0).Stats(); s.Messages != 2 || s.Bytes != 150 {
+		t.Fatalf("rank 0 stats = %+v", s)
+	}
+	if s := fab.Comm(2).Stats(); s.Messages != 0 {
+		t.Fatalf("receiving must not count as sending: %+v", s)
+	}
+}
+
+func scenarioRingCirculation(t *testing.T, fab cluster.Fabric) {
+	// Tokens travel the full ring and return home — the heart of ParMAC's
+	// W-step topology (§4.1). Several tokens circulate at once for several
+	// laps, each accumulating its visit path.
+	const tokens, laps = 3, 4
+	p := fab.Size()
+	finals := make([][]int, tokens)
+	eachRank(fab, func(c *cluster.Comm) {
+		rank := c.Rank()
+		for tok := 0; tok < tokens; tok++ {
+			if tok%p == rank {
+				c.Send((rank+1)%p, tok, []int{rank}, 8)
+			}
+		}
+		// Every rank receives each token exactly `laps` times; the home rank
+		// collects its token on the final lap instead of forwarding it.
+		for i := 0; i < tokens*laps; i++ {
+			m := c.Recv(cluster.AnyTag)
+			path := append(m.Payload.([]int), rank)
+			if m.Tag%p == rank && len(path) == laps*p+1 {
+				finals[m.Tag] = path
+				continue
+			}
+			c.Send((rank+1)%p, m.Tag, path, 8)
+		}
+	})
+	for tok, path := range finals {
+		if len(path) != laps*p+1 {
+			t.Fatalf("token %d path %v", tok, path)
+		}
+		home := tok % p
+		for i, r := range path {
+			if r != (home+i)%p {
+				t.Fatalf("token %d left the ring: %v", tok, path)
+			}
+		}
+	}
+}
+
+func scenarioSlowRank(t *testing.T, fab cluster.Fabric) {
+	// Backpressure: the inbox holds only 2 messages and rank 2 is slow, so
+	// upstream sends must block — yet the ring keeps making progress because
+	// every rank keeps draining. A deadlock here trips the suite's timeout.
+	const tokens, laps = 8, 3
+	p := fab.Size()
+	var arrived int64
+	var mu sync.Mutex
+	eachRank(fab, func(c *cluster.Comm) {
+		rank := c.Rank()
+		for tok := 0; tok < tokens; tok++ {
+			if tok%p == rank {
+				c.Send((rank+1)%p, tok, 1, 8)
+			}
+		}
+		// Each token passes through every rank exactly `laps` times.
+		for i := 0; i < tokens*laps; i++ {
+			m := c.Recv(cluster.AnyTag)
+			if rank == 2 {
+				time.Sleep(2 * time.Millisecond)
+			}
+			hops := m.Payload.(int)
+			if hops == laps*p {
+				mu.Lock()
+				arrived++
+				mu.Unlock()
+				continue
+			}
+			c.Send((rank+1)%p, m.Tag, hops+1, 8)
+		}
+	})
+	if arrived != tokens {
+		t.Fatalf("only %d/%d tokens completed", arrived, tokens)
+	}
+}

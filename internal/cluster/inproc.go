@@ -1,0 +1,94 @@
+package cluster
+
+import "fmt"
+
+// The in-process transport backend: every rank is a goroutine in one
+// process, inboxes are buffered Go channels. This is the zero-overhead
+// fabric the paper's single-host experiments run on.
+
+// DefaultInboxCapacity bounds in-flight messages per rank unless overridden
+// with WithInboxCapacity. ParMAC keeps at most M submodels + P final-round
+// copies in flight, so this is generous.
+const DefaultInboxCapacity = 1 << 14
+
+// Network is the in-process fabric connecting P ranks.
+type Network struct {
+	size    int
+	inboxes []chan Message
+	comms   []*Comm
+}
+
+// NewNetwork creates an in-process fabric with p ranks.
+func NewNetwork(p int, opts ...Option) *Network {
+	if p <= 0 {
+		panic("cluster: need at least one rank")
+	}
+	o := ResolveOptions(opts...)
+	n := &Network{
+		size:    p,
+		inboxes: make([]chan Message, p),
+		comms:   make([]*Comm, p),
+	}
+	for i := range n.inboxes {
+		n.inboxes[i] = make(chan Message, o.InboxCapacity)
+		n.comms[i] = NewComm(&inprocEndpoint{net: n, rank: i})
+	}
+	return n
+}
+
+// Size returns the number of ranks.
+func (n *Network) Size() int { return n.size }
+
+// Comm returns the communicator endpoint for the given rank. Each endpoint
+// must be used by a single goroutine (as one MPI process would). Repeated
+// calls return the same Comm.
+func (n *Network) Comm(rank int) *Comm {
+	if rank < 0 || rank >= n.size {
+		panic(fmt.Sprintf("cluster: rank %d out of range [0,%d)", rank, n.size))
+	}
+	return n.comms[rank]
+}
+
+// Stats returns the fabric-wide message and byte totals so far.
+func (n *Network) Stats() Stats {
+	var out Stats
+	for _, c := range n.comms {
+		s := c.Stats()
+		out.Messages += s.Messages
+		out.Bytes += s.Bytes
+	}
+	return out
+}
+
+// SentBy returns how many messages the given rank has sent.
+func (n *Network) SentBy(rank int) int64 { return n.comms[rank].Stats().Messages }
+
+// Close implements Fabric. The in-process fabric holds no external
+// resources; goroutines blocked on Recv are the caller's to unblock.
+func (n *Network) Close() error { return nil }
+
+type inprocEndpoint struct {
+	net  *Network
+	rank int
+}
+
+func (e *inprocEndpoint) Rank() int                 { return e.rank }
+func (e *inprocEndpoint) Size() int                 { return e.net.size }
+func (e *inprocEndpoint) Deliver(to int, m Message) { e.net.inboxes[to] <- m }
+func (e *inprocEndpoint) Next() Message             { return <-e.net.inboxes[e.rank] }
+func (e *inprocEndpoint) Close() error              { return nil }
+
+func (e *inprocEndpoint) TryNext() (Message, bool) {
+	select {
+	case m := <-e.net.inboxes[e.rank]:
+		return m, true
+	default:
+		return Message{}, false
+	}
+}
+
+func init() {
+	RegisterTransport("inproc", func(p int, opts ...Option) (Fabric, error) {
+		return NewNetwork(p, opts...), nil
+	})
+}

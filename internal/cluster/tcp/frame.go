@@ -1,0 +1,126 @@
+package tcp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Wire format: every frame is a 4-byte big-endian length followed by a
+// standalone gob stream encoding one frame struct. Each frame gets a fresh
+// gob encoder so frames are self-contained — the hub can route them without
+// holding per-connection codec state, and a reconnecting reader can resume
+// at any frame boundary. Data payloads are in turn a nested standalone gob
+// blob (payloadBox), so the hub never needs the application's gob type
+// registrations to route.
+
+// maxFrameBytes caps a single frame (64 MiB) so a corrupted length prefix
+// cannot make a reader allocate unboundedly.
+const maxFrameBytes = 64 << 20
+
+type frameKind uint8
+
+const (
+	// frameHello is the first frame on a dialled connection: it claims a rank.
+	frameHello frameKind = iota + 1
+	// frameStart is the hub's rendezvous release once every rank has joined.
+	frameStart
+	// frameData carries one cluster.Message between ranks.
+	frameData
+	// frameBye announces a graceful endpoint shutdown.
+	frameBye
+)
+
+type frame struct {
+	Kind frameKind
+
+	// frameData envelope.
+	From, To, Tag, Bytes int
+	Payload              []byte
+
+	// frameHello / frameStart.
+	Rank, Size int
+}
+
+func encodeFrame(f *frame) ([]byte, error) {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(f); err != nil {
+		return nil, fmt.Errorf("tcp: encode frame: %w", err)
+	}
+	if body.Len() > maxFrameBytes {
+		return nil, fmt.Errorf("tcp: frame of %d bytes exceeds limit", body.Len())
+	}
+	out := make([]byte, 4+body.Len())
+	binary.BigEndian.PutUint32(out[:4], uint32(body.Len()))
+	copy(out[4:], body.Bytes())
+	return out, nil
+}
+
+func writeFrame(w io.Writer, f *frame) error {
+	raw, err := encodeFrame(f)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(raw)
+	return err
+}
+
+func readFrame(r io.Reader) (*frame, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > maxFrameBytes {
+		return nil, fmt.Errorf("tcp: frame length %d exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	f := &frame{}
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(f); err != nil {
+		return nil, fmt.Errorf("tcp: decode frame: %w", err)
+	}
+	return f, nil
+}
+
+// payloadBox wraps an arbitrary payload so gob can encode the interface
+// value. Concrete payload types must be gob-registered by both ends (the
+// common builtins below are pre-registered; application packages register
+// their own message structs in init).
+type payloadBox struct{ V any }
+
+func encodePayload(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&payloadBox{V: v}); err != nil {
+		return nil, fmt.Errorf("tcp: encode payload %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodePayload(b []byte) (any, error) {
+	var box payloadBox
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&box); err != nil {
+		return nil, fmt.Errorf("tcp: decode payload: %w", err)
+	}
+	return box.V, nil
+}
+
+func init() {
+	// Builtins commonly sent as bare payloads. Named struct payloads are
+	// registered by the packages that define them.
+	gob.Register(int(0))
+	gob.Register(int64(0))
+	gob.Register(float64(0))
+	gob.Register(false)
+	gob.Register("")
+	gob.Register([]int(nil))
+	gob.Register([]float64(nil))
+	gob.Register([]byte(nil))
+	gob.Register([]string(nil))
+	gob.Register([]any(nil))
+	gob.Register(map[string]any(nil))
+}

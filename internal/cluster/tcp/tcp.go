@@ -1,0 +1,495 @@
+// Package tcp is the multi-process transport backend for internal/cluster:
+// each rank runs in its own OS process and exchanges length-prefixed gob
+// frames over TCP. A Hub plays the role of the cluster's rendezvous point
+// and message router: every rank dials the hub, claims its rank with a hello
+// frame, and blocks until all ranks have joined (the rendezvous phase); the
+// hub then releases everyone and routes data frames between ranks with
+// per-sender FIFO ordering, exactly the delivery contract the in-process
+// backend provides — the conformance suite in internal/cluster holds both to
+// it.
+//
+// Backpressure is physical: a rank that stops draining its inbox stops
+// reading its socket, TCP flow control stalls the hub's writes to it, and
+// senders eventually block in Deliver — the same bounded-buffering semantics
+// as the in-process channel fabric.
+package tcp
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// rendezvousTimeout bounds how long a dialling rank waits for the cluster to
+// assemble before giving up.
+const rendezvousTimeout = 60 * time.Second
+
+// ---------------------------------------------------------------------------
+// hub: rendezvous + router
+// ---------------------------------------------------------------------------
+
+// Hub is the rendezvous server and frame router for one cluster. Typically
+// the coordinator process runs the Hub and dials its own rank over loopback,
+// while worker processes dial from outside.
+type Hub struct {
+	ln   net.Listener
+	size int
+
+	mu      sync.Mutex
+	peers   []*hubPeer // by rank; all non-nil once started
+	joined  int
+	gone    int
+	allGone chan struct{} // closed once every rank has departed
+	started bool
+	closed  bool
+}
+
+type hubPeer struct {
+	hub  *Hub
+	conn net.Conn
+	br   *bufio.Reader
+
+	wmu  sync.Mutex
+	bw   *bufio.Writer
+	gone bool
+}
+
+// send routes one frame to this peer, preserving the caller's order. Frames
+// to a departed peer are dropped (the rank said bye or its connection died).
+func (p *hubPeer) send(f *frame) {
+	p.wmu.Lock()
+	if p.gone {
+		p.wmu.Unlock()
+		return
+	}
+	err := writeFrame(p.bw, f)
+	if err == nil {
+		err = p.bw.Flush()
+	}
+	if err != nil {
+		p.gone = true
+		p.wmu.Unlock()
+		p.conn.Close()
+		p.hub.noteGone()
+		return
+	}
+	p.wmu.Unlock()
+}
+
+func (p *hubPeer) markGone() {
+	p.wmu.Lock()
+	first := !p.gone
+	p.gone = true
+	p.wmu.Unlock()
+	p.conn.Close()
+	if first {
+		p.hub.noteGone()
+	}
+}
+
+func (h *Hub) noteGone() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.gone++
+	if h.gone == h.size && h.allGone != nil {
+		close(h.allGone)
+		h.allGone = nil
+	}
+}
+
+// NewHub listens on addr (e.g. "127.0.0.1:0") for a cluster of size ranks
+// and serves the rendezvous and routing protocol in the background.
+func NewHub(addr string, size int) (*Hub, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("tcp: need at least one rank, got %d", size)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcp: hub listen: %w", err)
+	}
+	h := &Hub{ln: ln, size: size, peers: make([]*hubPeer, size), allGone: make(chan struct{})}
+	go h.acceptLoop()
+	return h, nil
+}
+
+// Wait blocks until every rank has departed (bye frame or connection loss),
+// or the timeout elapses. A coordinator calls this between the protocol's
+// end and Close, so shutdown messages still in the hub are routed before the
+// fabric dies.
+func (h *Hub) Wait(timeout time.Duration) error {
+	h.mu.Lock()
+	ch := h.allGone
+	h.mu.Unlock()
+	if ch == nil {
+		return nil
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("tcp: %d of %d ranks still attached after %v", h.size-h.goneCount(), h.size, timeout)
+	}
+}
+
+func (h *Hub) goneCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.gone
+}
+
+// Addr returns the hub's listen address, to hand to Dial/Connect.
+func (h *Hub) Addr() string { return h.ln.Addr().String() }
+
+// Close tears the hub down: the listener and every peer connection are
+// closed. In-flight frames may be lost; close the hub only after the ranks
+// have finished their protocol.
+func (h *Hub) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil
+	}
+	h.closed = true
+	peers := append([]*hubPeer(nil), h.peers...)
+	h.mu.Unlock()
+	err := h.ln.Close()
+	for _, p := range peers {
+		if p != nil {
+			p.markGone()
+		}
+	}
+	return err
+}
+
+func (h *Hub) acceptLoop() {
+	for {
+		conn, err := h.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go h.admit(conn)
+	}
+}
+
+// admit performs the hub side of the rendezvous for one connection: read the
+// hello, claim the rank, and — once the cluster is complete — release every
+// rank with a start frame and begin routing.
+func (h *Hub) admit(conn net.Conn) {
+	conn.SetDeadline(time.Now().Add(rendezvousTimeout))
+	p := &hubPeer{hub: h, conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+	hello, err := readFrame(p.br)
+	if err != nil || hello.Kind != frameHello {
+		conn.Close()
+		return
+	}
+	conn.SetDeadline(time.Time{})
+
+	h.mu.Lock()
+	rank := hello.Rank
+	if h.closed || rank < 0 || rank >= h.size || h.peers[rank] != nil {
+		h.mu.Unlock()
+		conn.Close()
+		return
+	}
+	h.peers[rank] = p
+	h.joined++
+	complete := h.joined == h.size && !h.started
+	if complete {
+		h.started = true
+	}
+	h.mu.Unlock()
+
+	if complete {
+		for r, peer := range h.peers {
+			peer.send(&frame{Kind: frameStart, Rank: r, Size: h.size})
+		}
+	}
+	h.servePeer(p, rank)
+}
+
+// servePeer is a peer's dedicated reader for its whole lifetime. Healthy
+// ranks send nothing until the frameStart release, so a first-read failure
+// before the cluster started means the rank died mid-rendezvous: unclaim it,
+// so a restarted process can take the rank instead of the cluster wedging on
+// a permanently-claimed slot. Once bytes flow, route frames until bye/EOF.
+func (h *Hub) servePeer(p *hubPeer, rank int) {
+	if _, err := p.br.Peek(1); err != nil {
+		h.mu.Lock()
+		if !h.started && h.peers[rank] == p {
+			h.peers[rank] = nil
+			h.joined--
+			h.mu.Unlock()
+			p.conn.Close()
+			return
+		}
+		h.mu.Unlock()
+		p.markGone()
+		return
+	}
+	h.route(p)
+}
+
+// route forwards one peer's outgoing frames to their destinations, in order.
+func (h *Hub) route(p *hubPeer) {
+	for {
+		f, err := readFrame(p.br)
+		if err != nil {
+			p.markGone()
+			return
+		}
+		switch f.Kind {
+		case frameData:
+			if f.To < 0 || f.To >= h.size {
+				continue
+			}
+			h.mu.Lock()
+			dst := h.peers[f.To]
+			started := h.started
+			h.mu.Unlock()
+			if dst == nil || !started {
+				continue // unclaimed rank, or data jumped the rendezvous
+			}
+			dst.send(f)
+		case frameBye:
+			p.markGone()
+			return
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// endpoint: one rank's side of the connection
+// ---------------------------------------------------------------------------
+
+// Endpoint is a rank's TCP attachment, implementing cluster.Endpoint.
+type Endpoint struct {
+	rank, size int
+	conn       net.Conn
+
+	wmu sync.Mutex
+	bw  *bufio.Writer
+
+	inbox  chan cluster.Message
+	failed chan struct{} // closed when the read loop dies
+	done   chan struct{} // closed by Close
+
+	closeOnce sync.Once
+	readErr   error
+}
+
+// Dial connects rank to the hub at addr and blocks until every rank has
+// joined (the rendezvous phase), then returns the live endpoint.
+func Dial(addr string, rank int, opts ...cluster.Option) (*Endpoint, error) {
+	o := cluster.ResolveOptions(opts...)
+	conn, err := net.DialTimeout("tcp", addr, rendezvousTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("tcp: dial hub %s: %w", addr, err)
+	}
+	conn.SetDeadline(time.Now().Add(rendezvousTimeout))
+	bw := bufio.NewWriter(conn)
+	if err := writeFrame(bw, &frame{Kind: frameHello, Rank: rank}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("tcp: hello: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("tcp: hello: %w", err)
+	}
+	br := bufio.NewReader(conn)
+	start, err := readFrame(br)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("tcp: rendezvous (is the hub up and every rank joining?): %w", err)
+	}
+	if start.Kind != frameStart || start.Rank != rank {
+		conn.Close()
+		return nil, fmt.Errorf("tcp: bad rendezvous release %+v for rank %d", start, rank)
+	}
+	conn.SetDeadline(time.Time{})
+	ep := &Endpoint{
+		rank: rank, size: start.Size, conn: conn, bw: bw,
+		inbox:  make(chan cluster.Message, o.InboxCapacity),
+		failed: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go ep.readLoop(br)
+	return ep, nil
+}
+
+// Connect is Dial wrapped in a communicator — the one-call entry point for a
+// worker process.
+func Connect(addr string, rank int, opts ...cluster.Option) (*cluster.Comm, error) {
+	ep, err := Dial(addr, rank, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return cluster.NewComm(ep), nil
+}
+
+func (ep *Endpoint) readLoop(br *bufio.Reader) {
+	defer close(ep.failed)
+	for {
+		f, err := readFrame(br)
+		if err != nil {
+			ep.readErr = err
+			return
+		}
+		if f.Kind != frameData {
+			continue
+		}
+		payload, err := decodePayload(f.Payload)
+		if err != nil {
+			ep.readErr = err
+			return
+		}
+		m := cluster.Message{From: f.From, Tag: f.Tag, Payload: payload, Bytes: f.Bytes}
+		select {
+		case ep.inbox <- m:
+		case <-ep.done:
+			return
+		}
+	}
+}
+
+// Rank implements cluster.Endpoint.
+func (ep *Endpoint) Rank() int { return ep.rank }
+
+// Size implements cluster.Endpoint.
+func (ep *Endpoint) Size() int { return ep.size }
+
+// Deliver implements cluster.Endpoint: the message is gob-encoded and framed
+// to the hub, which routes it to rank `to`. A dead connection is fatal to
+// the rank, matching the panic-on-misuse style of the fabric API.
+func (ep *Endpoint) Deliver(to int, m cluster.Message) {
+	payload, err := encodePayload(m.Payload)
+	if err != nil {
+		panic(err.Error())
+	}
+	f := &frame{Kind: frameData, From: m.From, To: to, Tag: m.Tag, Bytes: m.Bytes, Payload: payload}
+	ep.wmu.Lock()
+	defer ep.wmu.Unlock()
+	if err := writeFrame(ep.bw, f); err != nil {
+		panic(fmt.Sprintf("tcp: rank %d lost hub connection: %v", ep.rank, err))
+	}
+	if err := ep.bw.Flush(); err != nil {
+		panic(fmt.Sprintf("tcp: rank %d lost hub connection: %v", ep.rank, err))
+	}
+}
+
+// Next implements cluster.Endpoint. Messages already delivered are drained
+// before a dead connection is reported.
+func (ep *Endpoint) Next() cluster.Message {
+	select {
+	case m := <-ep.inbox:
+		return m
+	default:
+	}
+	select {
+	case m := <-ep.inbox:
+		return m
+	case <-ep.failed:
+		// One last drain: the read loop may have buffered messages before
+		// dying.
+		select {
+		case m := <-ep.inbox:
+			return m
+		default:
+		}
+		panic(fmt.Sprintf("tcp: rank %d: connection lost while receiving: %v", ep.rank, ep.readErr))
+	}
+}
+
+// TryNext implements cluster.Endpoint.
+func (ep *Endpoint) TryNext() (cluster.Message, bool) {
+	select {
+	case m := <-ep.inbox:
+		return m, true
+	default:
+		return cluster.Message{}, false
+	}
+}
+
+// Close implements cluster.Endpoint: a bye frame tells the hub this rank is
+// done (graceful shutdown), then the connection is closed.
+func (ep *Endpoint) Close() error {
+	ep.closeOnce.Do(func() {
+		close(ep.done)
+		ep.wmu.Lock()
+		if writeFrame(ep.bw, &frame{Kind: frameBye, From: ep.rank}) == nil {
+			ep.bw.Flush()
+		}
+		ep.wmu.Unlock()
+		ep.conn.Close()
+	})
+	return nil
+}
+
+var _ cluster.Endpoint = (*Endpoint)(nil)
+
+// ---------------------------------------------------------------------------
+// registered fabric (conformance entry point)
+// ---------------------------------------------------------------------------
+
+type fabric struct {
+	hub   *Hub
+	comms []*cluster.Comm
+}
+
+// NewLoopbackFabric assembles a complete p-rank cluster over loopback TCP in
+// one process: a hub plus one dialled endpoint per rank. Every message still
+// crosses real sockets and the full gob wire format; only process isolation
+// is elided. It backs the "tcp" entry in the transport registry so the
+// conformance suite exercises the wire path.
+func NewLoopbackFabric(p int, opts ...cluster.Option) (cluster.Fabric, error) {
+	hub, err := NewHub("127.0.0.1:0", p)
+	if err != nil {
+		return nil, err
+	}
+	comms := make([]*cluster.Comm, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			comms[r], errs[r] = Connect(hub.Addr(), r, opts...)
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			hub.Close()
+			return nil, err
+		}
+	}
+	return &fabric{hub: hub, comms: comms}, nil
+}
+
+func (f *fabric) Size() int { return len(f.comms) }
+
+func (f *fabric) Comm(rank int) *cluster.Comm { return f.comms[rank] }
+
+func (f *fabric) Stats() cluster.Stats {
+	var out cluster.Stats
+	for _, c := range f.comms {
+		s := c.Stats()
+		out.Messages += s.Messages
+		out.Bytes += s.Bytes
+	}
+	return out
+}
+
+func (f *fabric) Close() error {
+	for _, c := range f.comms {
+		c.Close()
+	}
+	return f.hub.Close()
+}
+
+func init() {
+	cluster.RegisterTransport("tcp", NewLoopbackFabric)
+}

@@ -11,19 +11,22 @@
 // machine updates the coordinates of its own points with no communication at
 // all. Only model parameters ever cross the network.
 //
-// The engine runs each machine as a goroutine over the MPI-like fabric of
-// internal/cluster and supports the ParMAC extensions of §4.3: per-epoch ring
-// shuffling, load balancing via unequal shards, streaming (machines can be
-// added and retired between iterations) and fault tolerance (a machine can
-// die mid-W-step; lost submodels are recovered from the redundant copies on
-// their predecessor machines, and routes are repaired to skip the dead
-// machine).
+// The engine is split along the paper's deployment boundary: the Engine is
+// the coordinator, machines run RunWorker (worker.go), and the two sides
+// speak exclusively through the pluggable fabric of internal/cluster — Go
+// channels in-process (Engine.New spawns the workers itself) or TCP between
+// OS processes (NewDistributed drives externally launched workers, with
+// submodels gob-serialized on the wire). The engine supports the ParMAC
+// extensions of §4.3: per-epoch ring shuffling, load balancing via unequal
+// shards, streaming (machines can be added and retired between iterations)
+// and fault tolerance (a machine can die mid-W-step; lost submodels are
+// recovered from the redundant copies on their predecessor machines, and
+// routes are repaired to skip the dead machine).
 package core
 
 import (
 	"fmt"
 	"math/rand"
-	"sync/atomic"
 
 	"repro/internal/cluster"
 )
@@ -37,7 +40,8 @@ type Shard interface {
 // Submodel is one independent unit of the W step (a hash function, a decoder
 // group, a hidden unit's weight vector...). Submodels own their parameters
 // and any optimiser state (e.g. SGD schedules), which therefore circulate
-// with them.
+// with them. Concrete types used across process boundaries must additionally
+// be gob-encodable (including optimiser state) and gob-registered.
 type Submodel interface {
 	// ID identifies the submodel; IDs must be 0..M-1.
 	ID() int
@@ -70,9 +74,11 @@ type Problem interface {
 }
 
 // IterationHook is implemented by problems that advance per-iteration state
-// (e.g. the μ schedule of the BA). It is called once, before each iteration's
-// W step, from the coordinator goroutine; the engine's message causality
-// makes the update visible to all machines.
+// (e.g. the μ schedule of the BA). In the in-process shape it is called
+// once, before each iteration's W step, on the coordinator's problem; in the
+// distributed shape each worker additionally calls it on its own problem
+// instance when the W step opens, so shard-local state (the μ used by the Z
+// step) advances everywhere.
 type IterationHook interface {
 	OnIterationStart(iter int)
 }
@@ -118,7 +124,8 @@ type Config struct {
 
 	// Replicas makes machines store deep copies of passing submodels rather
 	// than sharing pointers. Required for fault tolerance; costs memory,
-	// exactly the paper's "in-built redundance".
+	// exactly the paper's "in-built redundance". Distributed workers always
+	// hold private decoded copies, so there it is implied.
 	Replicas bool
 
 	// MaxMachines reserves fabric ranks for machines added later by
@@ -180,103 +187,81 @@ const (
 	tagZGo
 	tagZDone
 	tagShutdown
+	tagShutdownAck
 )
 
-// token is a circulating submodel with its itinerary.
-type token struct {
-	sm      Submodel
-	id      int
-	step    int   // itinerary positions completed
-	version int   // training visits completed
-	route   []int // machine rank per itinerary position
-	train   int   // positions < train are training visits
-}
-
-// deathNotice is the metadata a dying machine manages to emit.
-type deathNotice struct {
-	rank    int
-	tok     *token // intact token being bounced, nil when lost
-	lostID  int    // submodel ID lost with the machine's memory, -1 if none
-	lostTok *token // itinerary metadata of the lost token (parameters gone)
-}
-
-type wStartMsg struct {
-	iter    int
-	train   int // training visit count e·P_alive
-	within  int
-	shuffle bool
-}
-
-type ackEntry struct {
-	id      int
-	version int // -1 when the machine holds an aliased pointer (no replicas)
-}
-
-type zDoneMsg struct{ changed int }
-
-type fixMsg struct {
-	id int
-	sm Submodel
-}
-
-// localEntry is a machine's copy of a submodel as of some version.
-type localEntry struct {
-	sm      Submodel
-	version int
-}
-
-// Engine runs ParMAC.
+// Engine is the ParMAC coordinator. It owns the authoritative model between
+// iterations, builds itineraries, supervises failures and aggregates
+// results; all machine interaction goes through its communicator.
 type Engine struct {
 	cfg  Config
 	prob Problem
 
-	net   *cluster.Network
+	net   *cluster.Network // in-process shape only: the fabric we own
 	coord *cluster.Comm
 
-	machines []*machine
-	alive    []atomic.Bool
+	occupied []bool // rank has a (possibly dead) worker attached
+	alive    []bool // rank is in the ring
 
 	submodels []Submodel // authoritative model between iterations
 	versions  []int      // training visits accumulated per submodel
 
 	rng  *rand.Rand
 	iter int
-	hops atomic.Int64 // submodel forwards during the current W step
+
+	// per-iteration traffic generated by the coordinator itself
+	coordHops  int64
+	coordBytes int64
 
 	shutdown bool
 }
 
-type machine struct {
-	eng   *Engine
-	rank  int
-	comm  *cluster.Comm
-	shard int
-	local map[int]localEntry
-	rng   *rand.Rand
-
-	// failure injection state for the current iteration
-	failAfter int // -1: never
-	processed int
-	dead      bool
-}
-
-// New creates an engine for the problem. Machine i is attached to
-// prob.Shard(i); prob.NumShards() must be >= cfg.P.
+// New creates an in-process engine for the problem: the fabric is the
+// channel backend and machine i runs as a goroutine attached to
+// prob.Shard(i). prob.NumShards() must be >= cfg.P.
 func New(prob Problem, cfg Config) *Engine {
 	cfg.fillDefaults()
 	if prob.NumShards() < cfg.P {
 		panic(fmt.Sprintf("core: %d shards for %d machines", prob.NumShards(), cfg.P))
 	}
-	e := &Engine{
-		cfg:  cfg,
-		prob: prob,
-		rng:  rand.New(rand.NewSource(cfg.Seed)),
+	net := cluster.NewNetwork(cfg.MaxMachines + 1)
+	e := newEngine(prob, cfg, net.Comm(cfg.MaxMachines))
+	e.net = net
+	for r := 0; r < cfg.P; r++ {
+		e.spawnMachine(r, r)
 	}
-	e.net = cluster.NewNetwork(cfg.MaxMachines + 1)
-	e.coord = e.net.Comm(cfg.MaxMachines)
-	e.machines = make([]*machine, cfg.MaxMachines)
-	e.alive = make([]atomic.Bool, cfg.MaxMachines)
+	return e
+}
 
+// NewDistributed creates a coordinator over an external fabric (e.g. a TCP
+// cluster): comm must be the fabric's last rank, and cfg.P workers —
+// launched separately with RunWorker, each owning its Problem instance —
+// occupy ranks 0..P-1. Streaming (AddMachine) is not available in this
+// shape; fault injection and recovery are.
+func NewDistributed(prob Problem, cfg Config, comm *cluster.Comm) *Engine {
+	cfg.MaxMachines = cfg.P // streaming needs worker spawning; no spare ranks here
+	cfg.fillDefaults()
+	if comm.Size() != cfg.P+1 || comm.Rank() != cfg.P {
+		panic(fmt.Sprintf("core: coordinator needs rank %d of a %d-rank fabric, got rank %d of %d",
+			cfg.P, cfg.P+1, comm.Rank(), comm.Size()))
+	}
+	e := newEngine(prob, cfg, comm)
+	for r := 0; r < cfg.P; r++ {
+		e.occupied[r] = true
+		e.alive[r] = true
+	}
+	return e
+}
+
+func newEngine(prob Problem, cfg Config, coord *cluster.Comm) *Engine {
+	e := &Engine{
+		cfg:      cfg,
+		prob:     prob,
+		coord:    coord,
+		occupied: make([]bool, cfg.MaxMachines),
+		alive:    make([]bool, cfg.MaxMachines),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}
 	e.submodels = prob.Submodels()
 	for i, sm := range e.submodels {
 		if sm.ID() != i {
@@ -284,26 +269,16 @@ func New(prob Problem, cfg Config) *Engine {
 		}
 	}
 	e.versions = make([]int, len(e.submodels))
-
-	for r := 0; r < cfg.P; r++ {
-		e.spawnMachine(r, r)
-	}
 	return e
 }
 
 func (e *Engine) spawnMachine(rank, shard int) {
-	m := &machine{
-		eng:       e,
-		rank:      rank,
-		comm:      e.net.Comm(rank),
-		shard:     shard,
-		local:     make(map[int]localEntry),
-		rng:       rand.New(rand.NewSource(e.cfg.Seed + 1000003*int64(rank+1))),
-		failAfter: -1,
-	}
-	e.machines[rank] = m
-	e.alive[rank].Store(true)
-	go m.run()
+	e.occupied[rank] = true
+	e.alive[rank] = true
+	go RunWorker(e.net.Comm(rank), e.prob, shard, WorkerOptions{
+		Seed:          WorkerSeed(e.cfg.Seed, rank),
+		SharedProblem: true,
+	})
 }
 
 // M returns the number of submodels.
@@ -315,8 +290,8 @@ func (e *Engine) Model() []Submodel { return e.submodels }
 // AliveRanks lists the machines currently in the ring.
 func (e *Engine) AliveRanks() []int {
 	var out []int
-	for r := range e.machines {
-		if e.machines[r] != nil && e.alive[r].Load() {
+	for r := range e.alive {
+		if e.occupied[r] && e.alive[r] {
 			out = append(out, r)
 		}
 	}
@@ -326,10 +301,13 @@ func (e *Engine) AliveRanks() []int {
 // AddMachine attaches a new machine serving prob.Shard(shard) and returns its
 // rank. It implements the streaming extension: "adding it to the circular
 // topology simply requires connecting it between any two machines" (§4.3).
-// Call between iterations.
+// Call between iterations. In-process engines only.
 func (e *Engine) AddMachine(shard int) int {
-	for r := range e.machines {
-		if e.machines[r] == nil {
+	if e.net == nil {
+		panic("core: AddMachine requires the in-process engine")
+	}
+	for r := range e.occupied {
+		if !e.occupied[r] {
 			if shard >= e.prob.NumShards() {
 				panic("core: AddMachine shard out of range")
 			}
@@ -345,23 +323,26 @@ func (e *Engine) AddMachine(shard int) int {
 // p+1 and returning machine p to the cluster", §4.3). Its shard's data are no
 // longer visited.
 func (e *Engine) Retire(rank int) {
-	if e.machines[rank] == nil || !e.alive[rank].Load() {
+	if !e.occupied[rank] || !e.alive[rank] {
 		panic("core: Retire of absent machine")
 	}
-	e.alive[rank].Store(false)
+	e.alive[rank] = false
 	e.coordSendTo(rank, tagShutdown, nil)
-	e.machines[rank] = nil
+	// Wait for the machine to acknowledge: its rank (and communicator) may
+	// be reused by a later AddMachine, so the old worker must be gone first.
+	e.coord.RecvFrom(rank, tagShutdownAck)
+	e.occupied[rank] = false
 }
 
-// Shutdown terminates all machine goroutines. The engine is unusable after.
+// Shutdown terminates all machine loops. The engine is unusable after.
 func (e *Engine) Shutdown() {
 	if e.shutdown {
 		return
 	}
 	e.shutdown = true
-	for _, m := range e.machines {
-		if m != nil {
-			e.coordSendTo(m.rank, tagShutdown, nil)
+	for r := range e.occupied {
+		if e.occupied[r] {
+			e.coordSendTo(r, tagShutdown, nil)
 		}
 	}
 }
@@ -377,7 +358,7 @@ func (e *Engine) Iterate() IterationResult {
 		hook.OnIterationStart(e.iter)
 	}
 	res := IterationResult{Iter: e.iter}
-	statsBefore := e.net.Stats()
+	e.coordHops, e.coordBytes = 0, 0
 
 	aliveList := e.AliveRanks()
 	p := len(aliveList)
@@ -387,30 +368,24 @@ func (e *Engine) Iterate() IterationResult {
 	trainVisits := e.cfg.Epochs * p
 	routes := e.buildRoutes(aliveList, trainVisits)
 
-	// Arm failure injection.
-	for _, m := range e.machines {
-		if m == nil {
-			continue
-		}
-		m.failAfter = -1
-		m.processed = 0
-		if e.cfg.Fail.Mode != FailNone && e.cfg.Fail.Rank == m.rank && e.cfg.Fail.Iteration == e.iter {
-			m.failAfter = e.cfg.Fail.AfterTok
-		}
-	}
-
-	// Start the W step on all alive machines.
-	start := wStartMsg{iter: e.iter, train: trainVisits, within: e.cfg.Within, shuffle: e.cfg.Shuffle}
+	// Start the W step on all alive machines, arming failure injection where
+	// scheduled.
 	for _, r := range aliveList {
-		e.coordSendTo(r, tagWStart, start)
+		failAfter := -1
+		if e.cfg.Fail.Mode != FailNone && e.cfg.Fail.Rank == r && e.cfg.Fail.Iteration == e.iter {
+			failAfter = e.cfg.Fail.AfterTok
+		}
+		e.coordSendTo(r, tagWStart, WStartMsg{
+			Iter: e.iter, Train: trainVisits, Within: e.cfg.Within,
+			Shuffle: e.cfg.Shuffle, Replicas: e.cfg.Replicas,
+			M: len(e.submodels), FailAfter: failAfter,
+		})
 	}
 	// Inject the initial tokens at their home machines.
-	tokens := make([]*token, len(e.submodels))
 	for i, sm := range e.submodels {
-		tok := &token{sm: sm, id: i, version: e.versions[i], route: routes[i], train: trainVisits}
-		tokens[i] = tok
+		tok := &Token{SM: sm, ID: i, Version: e.versions[i], Route: routes[i], Train: trainVisits}
 		// Placement is free: submodel i starts resident at its home machine.
-		e.coord.Send(tok.route[0], tagToken, tok, 0)
+		e.coord.Send(tok.Route[0], tagToken, tok, 0)
 	}
 
 	// Supervise until all tokens finish.
@@ -420,19 +395,19 @@ func (e *Engine) Iterate() IterationResult {
 		msg := e.coord.Recv(cluster.AnyTag)
 		switch msg.Tag {
 		case tagFinished:
-			tok := msg.Payload.(*token)
-			e.submodels[tok.id] = tok.sm
-			finalVersion[tok.id] = tok.version
+			tok := msg.Payload.(*Token)
+			e.submodels[tok.ID] = tok.SM
+			finalVersion[tok.ID] = tok.Version
 			finished++
 		case tagDead:
-			n := msg.Payload.(deathNotice)
+			n := msg.Payload.(DeathNotice)
 			ev := e.handleDeath(n)
 			res.Failures = append(res.Failures, ev)
 		case tagBounced:
-			tok := msg.Payload.(*token)
+			tok := msg.Payload.(*Token)
 			if !e.forwardFromCoord(tok) {
-				e.submodels[tok.id] = tok.sm
-				finalVersion[tok.id] = tok.version
+				e.submodels[tok.ID] = tok.SM
+				finalVersion[tok.ID] = tok.Version
 				finished++
 			}
 		default:
@@ -441,18 +416,21 @@ func (e *Engine) Iterate() IterationResult {
 	}
 	copy(e.versions, finalVersion)
 
-	// Drain the W step: every alive machine acks with its local inventory;
-	// repair stale or missing copies so the Z step sees the full model.
+	// Drain the W step: every alive machine acks with its local inventory
+	// and traffic counters; repair stale or missing copies so the Z step
+	// sees the full model.
 	aliveNow := e.AliveRanks()
 	for _, r := range aliveNow {
 		e.coordSendTo(r, tagWDone, nil)
 	}
 	for range aliveNow {
 		msg := e.coord.Recv(tagWAck)
-		entries := msg.Payload.([]ackEntry)
-		have := make(map[int]int, len(entries))
-		for _, en := range entries {
-			have[en.id] = en.version
+		ack := msg.Payload.(WAckMsg)
+		res.ModelMessages += ack.Hops
+		res.ModelBytes += ack.Bytes
+		have := make(map[int]int, len(ack.Entries))
+		for _, en := range ack.Entries {
+			have[en.ID] = en.Version
 		}
 		for id, sm := range e.submodels {
 			v, ok := have[id]
@@ -464,7 +442,8 @@ func (e *Engine) Iterate() IterationResult {
 				} else {
 					payload = sm
 				}
-				e.coord.Send(msg.From, tagFix, fixMsg{id: id, sm: payload}, sm.Bytes())
+				e.coord.Send(msg.From, tagFix, FixMsg{ID: id, SM: payload}, sm.Bytes())
+				e.coordBytes += int64(sm.Bytes())
 				res.FixMessages++
 			}
 		}
@@ -476,12 +455,11 @@ func (e *Engine) Iterate() IterationResult {
 	}
 	for range aliveNow {
 		msg := e.coord.Recv(tagZDone)
-		res.ZChanged += msg.Payload.(zDoneMsg).changed
+		res.ZChanged += msg.Payload.(ZDoneMsg).Changed
 	}
 
-	statsAfter := e.net.Stats()
-	res.ModelBytes = statsAfter.Bytes - statsBefore.Bytes
-	res.ModelMessages = e.hops.Swap(0)
+	res.ModelMessages += e.coordHops
+	res.ModelBytes += e.coordBytes
 	res.AliveMachines = len(aliveNow)
 	if hook, ok := e.prob.(ModelSyncHook); ok {
 		hook.OnModelSync(e.submodels)
@@ -541,31 +519,33 @@ func (e *Engine) buildRoutes(alive []int, trainVisits int) [][]int {
 // handleDeath processes a machine failure: mark it dead, reroute the bounced
 // token if intact, or recover the lost submodel from its predecessor's
 // replica (§4.3).
-func (e *Engine) handleDeath(n deathNotice) FailureEvent {
-	e.alive[n.rank].Store(false)
-	ev := FailureEvent{Rank: n.rank, LostToken: n.lostID, FromRank: -1}
-	if n.tok != nil {
+func (e *Engine) handleDeath(n DeathNotice) FailureEvent {
+	e.alive[n.Rank] = false
+	// The dead machine will never ack, so its traffic counters arrive here.
+	e.coordHops += n.Hops
+	e.coordBytes += n.Bytes
+	ev := FailureEvent{Rank: n.Rank, LostToken: n.LostID, FromRank: -1}
+	if n.Tok != nil {
 		// Intact token bounced by the dying machine.
-		if !e.forwardFromCoord(n.tok) {
-			e.coord.Send(e.coord.Rank(), tagFinished, n.tok, 0) // self-deliver
+		if !e.forwardFromCoord(n.Tok) {
+			e.coord.Send(e.coord.Rank(), tagFinished, n.Tok, 0) // self-deliver
 		}
 	}
-	if n.lostTok != nil {
-		tok := n.lostTok
+	if n.LostTok != nil {
+		tok := n.LostTok
 		// Find the most recent previous alive machine on its route and ask
 		// for its replica of the submodel.
 		rescued := false
-		for pos := tok.step - 1; pos >= 0 && !rescued; pos-- {
-			r := tok.route[pos]
-			if r == n.rank || !e.alive[r].Load() {
+		for pos := tok.Step - 1; pos >= 0 && !rescued; pos-- {
+			r := tok.Route[pos]
+			if r == n.Rank || !e.alive[r] {
 				continue
 			}
-			e.coordSendTo(r, tagRescue, tok.id)
-			reply := e.coord.RecvFrom(r, tagRescueReply)
-			if reply.Payload != nil {
-				entry := reply.Payload.(localEntry)
-				tok.sm = entry.sm
-				tok.version = entry.version
+			e.coordSendTo(r, tagRescue, tok.ID)
+			reply := e.coord.RecvFrom(r, tagRescueReply).Payload.(RescueReply)
+			if reply.OK {
+				tok.SM = reply.SM
+				tok.Version = reply.Version
 				rescued = true
 				ev.Recovered = true
 				ev.FromRank = r
@@ -574,8 +554,8 @@ func (e *Engine) handleDeath(n deathNotice) FailureEvent {
 		if !rescued {
 			// No replica anywhere upstream: restart from the authoritative
 			// pre-iteration state.
-			tok.sm = e.submodels[tok.id].Clone()
-			tok.version = e.versions[tok.id]
+			tok.SM = e.submodels[tok.ID].Clone()
+			tok.Version = e.versions[tok.ID]
 			ev.Recovered = true
 			ev.FromRank = -1
 		}
@@ -587,166 +567,18 @@ func (e *Engine) handleDeath(n deathNotice) FailureEvent {
 	return ev
 }
 
-// forwardFromCoord advances tok.step to the next alive itinerary position and
+// forwardFromCoord advances tok.Step to the next alive itinerary position and
 // sends the token there. It reports false when no alive position remains (the
 // token is finished).
-func (e *Engine) forwardFromCoord(tok *token) bool {
-	for pos := tok.step; pos < len(tok.route); pos++ {
-		if e.alive[tok.route[pos]].Load() {
-			tok.step = pos
-			e.hops.Add(1)
-			e.coord.Send(tok.route[pos], tagToken, tok, tok.sm.Bytes())
+func (e *Engine) forwardFromCoord(tok *Token) bool {
+	for pos := tok.Step; pos < len(tok.Route); pos++ {
+		if e.alive[tok.Route[pos]] {
+			tok.Step = pos
+			e.coordHops++
+			e.coordBytes += int64(tok.SM.Bytes())
+			e.coord.Send(tok.Route[pos], tagToken, tok, tok.SM.Bytes())
 			return true
 		}
 	}
 	return false
-}
-
-// ---------------------------------------------------------------------------
-// machine goroutine
-// ---------------------------------------------------------------------------
-
-func (m *machine) run() {
-	for {
-		msg := m.comm.Recv(cluster.AnyTag)
-		switch msg.Tag {
-		case tagWStart:
-			if m.runWStep(msg.Payload.(wStartMsg)) {
-				return
-			}
-		case tagFix:
-			fix := msg.Payload.(fixMsg)
-			m.local[fix.id] = localEntry{sm: fix.sm, version: -2}
-		case tagZGo:
-			m.runZStep()
-		case tagShutdown:
-			return
-		case tagToken:
-			// A token raced a shutdown/retire; bounce it to the coordinator.
-			m.comm.Send(m.coordRank(), tagBounced, msg.Payload, 0)
-		case tagRescue:
-			m.handleRescue(msg.Payload.(int))
-		default:
-			panic(fmt.Sprintf("core: machine %d got unexpected tag %d", m.rank, msg.Tag))
-		}
-	}
-}
-
-func (m *machine) coordRank() int { return m.eng.cfg.MaxMachines }
-
-func (m *machine) handleRescue(id int) {
-	if entry, ok := m.local[id]; ok {
-		m.comm.Send(m.coordRank(), tagRescueReply, entry, 0)
-	} else {
-		m.comm.Send(m.coordRank(), tagRescueReply, nil, 0)
-	}
-}
-
-// runWStep is the paper's asynchronous W-step loop: "extract a submodel from
-// the queue, process it (except in epoch e+1) and send it to the machine's
-// successor" (§4.1).
-// runWStep returns true when the machine was shut down mid-step.
-func (m *machine) runWStep(cfg wStartMsg) bool {
-	shard := m.eng.prob.Shard(m.shard)
-	for {
-		msg := m.comm.Recv(cluster.AnyTag)
-		switch msg.Tag {
-		case tagToken:
-			tok := msg.Payload.(*token)
-			if m.dead {
-				m.comm.Send(m.coordRank(), tagBounced, tok, 0)
-				continue
-			}
-			if m.failAfter >= 0 && m.processed >= m.failAfter {
-				// The machine dies now. Its memory — including the submodel
-				// it was about to train — is gone; only the failure
-				// detection metadata escapes.
-				m.dead = true
-				m.eng.alive[m.rank].Store(false)
-				meta := *tok
-				meta.sm = nil
-				m.comm.Send(m.coordRank(), tagDead,
-					deathNotice{rank: m.rank, lostID: tok.id, lostTok: &meta}, 0)
-				continue
-			}
-			m.processToken(tok, shard, cfg)
-		case tagRescue:
-			m.handleRescue(msg.Payload.(int))
-		case tagWDone:
-			m.comm.Send(m.coordRank(), tagWAck, m.inventory(), 0)
-			return false
-		case tagShutdown:
-			return true
-		default:
-			panic(fmt.Sprintf("core: machine %d got tag %d during W step", m.rank, msg.Tag))
-		}
-	}
-}
-
-func (m *machine) processToken(tok *token, shard Shard, cfg wStartMsg) {
-	if tok.step < tok.train {
-		for pass := 0; pass < cfg.within; pass++ {
-			order := trainOrder(shard.NumPoints(), cfg.shuffle, m.rng)
-			tok.sm.TrainOn(shard, order)
-		}
-		tok.version++
-	}
-	tok.step++
-	m.processed++
-	m.record(tok)
-	// Forward to the next alive itinerary position, skipping dead machines
-	// ("should not visit p anymore", §4.3).
-	for pos := tok.step; pos < len(tok.route); pos++ {
-		if m.eng.alive[tok.route[pos]].Load() {
-			tok.step = pos
-			m.eng.hops.Add(1)
-			m.comm.Send(tok.route[pos], tagToken, tok, tok.sm.Bytes())
-			return
-		}
-	}
-	m.comm.Send(m.coordRank(), tagFinished, tok, 0)
-}
-
-// record stores this machine's copy of the submodel: a deep clone when
-// replicas are on (fault tolerance), a shared pointer otherwise.
-func (m *machine) record(tok *token) {
-	if m.eng.cfg.Replicas {
-		m.local[tok.id] = localEntry{sm: tok.sm.Clone(), version: tok.version}
-	} else {
-		m.local[tok.id] = localEntry{sm: tok.sm, version: -1}
-	}
-}
-
-func (m *machine) inventory() []ackEntry {
-	out := make([]ackEntry, 0, len(m.local))
-	for id, entry := range m.local {
-		out = append(out, ackEntry{id: id, version: entry.version})
-	}
-	return out
-}
-
-func (m *machine) runZStep() {
-	model := make([]Submodel, m.eng.M())
-	for id := range model {
-		entry, ok := m.local[id]
-		if !ok {
-			panic(fmt.Sprintf("core: machine %d missing submodel %d at Z step", m.rank, id))
-		}
-		model[id] = entry.sm
-	}
-	changed := m.eng.prob.ZStep(m.shard, model)
-	m.comm.Send(m.coordRank(), tagZDone, zDoneMsg{changed: changed}, 0)
-}
-
-// trainOrder mirrors sgd.Order without importing it (the engine stays
-// decoupled from the trainers).
-func trainOrder(n int, shuffle bool, rng *rand.Rand) []int {
-	if !shuffle {
-		idx := make([]int, n)
-		for i := range idx {
-			idx[i] = i
-		}
-		return idx
-	}
-	return rng.Perm(n)
 }

@@ -1,0 +1,94 @@
+package core
+
+import "encoding/gob"
+
+// The engine's protocol messages. Every type here crosses the fabric, so all
+// fields are exported and the types are gob-registered: on the in-process
+// backend they travel as pointers, on the TCP backend they are serialized
+// into gob frames by the transport. Submodel values inside them serialize
+// through the gob interface mechanism — each Problem's concrete submodel
+// types register themselves and implement GobEncoder/GobDecoder (see
+// binauto/wire.go, macnet/wire.go).
+
+// Token is a circulating submodel together with its itinerary through the
+// ring (§4.1): Route lists the machine rank per itinerary position, the
+// first Train positions are training visits, the rest are the final
+// copy-only round.
+type Token struct {
+	SM      Submodel
+	ID      int
+	Step    int // itinerary positions completed
+	Version int // training visits completed
+	Route   []int
+	Train   int
+}
+
+// WStartMsg opens one iteration's W step on a machine.
+type WStartMsg struct {
+	Iter      int
+	Train     int // training visit count e·P_alive
+	Within    int
+	Shuffle   bool
+	Replicas  bool
+	M         int // total submodel count (for the machine's Z-step assembly)
+	FailAfter int // injected failure: die at this token, -1 to stay alive
+}
+
+// DeathNotice is the metadata a dying machine manages to emit: an intact
+// token being bounced, or the itinerary of the token whose parameters died
+// with the machine's memory — plus the traffic counters it can no longer
+// report through a WAckMsg, so the iteration's communication accounting
+// stays exact under failures.
+type DeathNotice struct {
+	Rank    int
+	Tok     *Token // intact token being bounced, nil when lost
+	LostID  int    // submodel ID lost with the machine's memory, -1 if none
+	LostTok *Token // itinerary metadata of the lost token (parameters gone)
+	Hops    int64  // token forwards performed before dying
+	Bytes   int64  // bytes of model parameters moved before dying
+}
+
+// AckEntry reports one locally held submodel copy. Version -1 marks an
+// aliased in-process pointer (always current), -2 a copy installed by a
+// repair message.
+type AckEntry struct {
+	ID      int
+	Version int
+}
+
+// WAckMsg is a machine's end-of-W-step report: its local model inventory
+// plus the token traffic it generated, which the coordinator aggregates into
+// IterationResult — no shared counters, so the accounting works across
+// processes.
+type WAckMsg struct {
+	Entries []AckEntry
+	Hops    int64
+	Bytes   int64
+}
+
+// ZDoneMsg reports a completed shard-local Z step.
+type ZDoneMsg struct{ Changed int }
+
+// FixMsg repairs a stale or missing local submodel copy before the Z step.
+type FixMsg struct {
+	ID int
+	SM Submodel
+}
+
+// RescueReply answers a coordinator's replica request during fault recovery
+// (§4.3). OK is false when the machine holds no copy of the submodel.
+type RescueReply struct {
+	SM      Submodel
+	Version int
+	OK      bool
+}
+
+func init() {
+	gob.Register(&Token{})
+	gob.Register(WStartMsg{})
+	gob.Register(DeathNotice{})
+	gob.Register(WAckMsg{})
+	gob.Register(ZDoneMsg{})
+	gob.Register(FixMsg{})
+	gob.Register(RescueReply{})
+}

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cluster"
+)
+
+// The machine side of the ParMAC protocol. A worker talks to the coordinator
+// and its ring neighbours exclusively through its communicator — it shares
+// no memory with the Engine — so the same loop serves both deployment
+// shapes: a goroutine per machine over the in-process fabric (Engine.New
+// spawns these) and one OS process per machine over the TCP fabric
+// (cmd/parmac-train -worker runs this as its main loop).
+
+// WorkerOptions configures RunWorker.
+type WorkerOptions struct {
+	// Seed drives the machine-local shuffling RNG. Use WorkerSeed so every
+	// deployment shape derives the same per-rank stream.
+	Seed int64
+	// SharedProblem marks the in-process shape, where the worker's Problem
+	// is the coordinator's: per-iteration problem hooks then run once on the
+	// coordinator instead of on every machine, and local submodel copies
+	// follow Config.Replicas aliasing semantics. Distributed workers own
+	// their Problem instance and leave this false.
+	SharedProblem bool
+}
+
+// WorkerSeed derives the canonical per-rank RNG seed, identical across
+// backends so a fixed-seed run is reproducible in either deployment shape.
+func WorkerSeed(base int64, rank int) int64 { return base + 1000003*int64(rank+1) }
+
+// RunWorker runs one machine: it serves W-step, repair, rescue and Z-step
+// requests over comm until the coordinator sends a shutdown. The machine is
+// attached to prob.Shard(shard); the coordinator is the fabric's last rank.
+func RunWorker(comm *cluster.Comm, prob Problem, shard int, opt WorkerOptions) {
+	w := &worker{
+		comm:      comm,
+		prob:      prob,
+		shard:     shard,
+		shared:    opt.SharedProblem,
+		coordRank: comm.Size() - 1,
+		rank:      comm.Rank(),
+		local:     make(map[int]localEntry),
+		rng:       rand.New(rand.NewSource(opt.Seed)),
+		failAfter: -1,
+	}
+	w.run()
+}
+
+// localEntry is a machine's copy of a submodel as of some version.
+type localEntry struct {
+	sm      Submodel
+	version int
+}
+
+type worker struct {
+	comm      *cluster.Comm
+	prob      Problem
+	shard     int
+	shared    bool
+	coordRank int
+	rank      int
+	local     map[int]localEntry
+	rng       *rand.Rand
+
+	// per-iteration state, armed by WStartMsg
+	m         int
+	replicas  bool
+	hops      int64
+	bytes     int64
+	failAfter int // -1: never
+	processed int
+	dead      bool
+}
+
+func (w *worker) run() {
+	for {
+		msg := w.comm.Recv(cluster.AnyTag)
+		switch msg.Tag {
+		case tagWStart:
+			if w.runWStep(msg.Payload.(WStartMsg)) {
+				return
+			}
+		case tagFix:
+			fix := msg.Payload.(FixMsg)
+			w.local[fix.ID] = localEntry{sm: fix.SM, version: -2}
+		case tagZGo:
+			w.runZStep()
+		case tagShutdown:
+			w.ackShutdown()
+			return
+		case tagToken:
+			// A token raced a shutdown/retire; bounce it to the coordinator.
+			w.comm.Send(w.coordRank, tagBounced, msg.Payload, 0)
+		case tagRescue:
+			w.handleRescue(msg.Payload.(int))
+		default:
+			panic(fmt.Sprintf("core: machine %d got unexpected tag %d", w.rank, msg.Tag))
+		}
+	}
+}
+
+// ackShutdown is the worker's very last send: Retire blocks on it before
+// releasing the rank, so a successor machine can never share this worker's
+// communicator.
+func (w *worker) ackShutdown() {
+	w.comm.Send(w.coordRank, tagShutdownAck, nil, 0)
+}
+
+func (w *worker) handleRescue(id int) {
+	if entry, ok := w.local[id]; ok {
+		w.comm.Send(w.coordRank, tagRescueReply, RescueReply{SM: entry.sm, Version: entry.version, OK: true}, 0)
+	} else {
+		w.comm.Send(w.coordRank, tagRescueReply, RescueReply{}, 0)
+	}
+}
+
+// runWStep is the paper's asynchronous W-step loop: "extract a submodel from
+// the queue, process it (except in epoch e+1) and send it to the machine's
+// successor" (§4.1). It returns true when the machine was shut down
+// mid-step.
+func (w *worker) runWStep(cfg WStartMsg) bool {
+	w.m = cfg.M
+	w.replicas = cfg.Replicas
+	w.failAfter = cfg.FailAfter
+	w.processed = 0
+	w.hops, w.bytes = 0, 0
+	if !w.shared {
+		// This worker owns its Problem instance, so per-iteration state (the
+		// μ schedule, SGD re-tuning) must advance here; in the shared shape
+		// the coordinator already did it.
+		if hook, ok := w.prob.(IterationHook); ok {
+			hook.OnIterationStart(cfg.Iter)
+		}
+	}
+	shard := w.prob.Shard(w.shard)
+	for {
+		msg := w.comm.Recv(cluster.AnyTag)
+		switch msg.Tag {
+		case tagToken:
+			tok := msg.Payload.(*Token)
+			if w.dead {
+				w.comm.Send(w.coordRank, tagBounced, tok, 0)
+				continue
+			}
+			if w.failAfter >= 0 && w.processed >= w.failAfter {
+				// The machine dies now. Its memory — including the submodel
+				// it was about to train — is gone; only the failure
+				// detection metadata escapes.
+				w.dead = true
+				meta := *tok
+				meta.SM = nil
+				w.comm.Send(w.coordRank, tagDead,
+					DeathNotice{Rank: w.rank, LostID: tok.ID, LostTok: &meta,
+						Hops: w.hops, Bytes: w.bytes}, 0)
+				continue
+			}
+			w.processToken(tok, shard, cfg)
+		case tagRescue:
+			w.handleRescue(msg.Payload.(int))
+		case tagWDone:
+			w.comm.Send(w.coordRank, tagWAck,
+				WAckMsg{Entries: w.inventory(), Hops: w.hops, Bytes: w.bytes}, 0)
+			return false
+		case tagShutdown:
+			w.ackShutdown()
+			return true
+		default:
+			panic(fmt.Sprintf("core: machine %d got tag %d during W step", w.rank, msg.Tag))
+		}
+	}
+}
+
+func (w *worker) processToken(tok *Token, shard Shard, cfg WStartMsg) {
+	if tok.Step < tok.Train {
+		for pass := 0; pass < cfg.Within; pass++ {
+			order := trainOrder(shard.NumPoints(), cfg.Shuffle, w.rng)
+			tok.SM.TrainOn(shard, order)
+		}
+		tok.Version++
+	}
+	tok.Step++
+	w.processed++
+	w.record(tok)
+	// Forward along the itinerary. The machine does not know who died; a
+	// dead successor bounces the token to the coordinator, which reroutes it
+	// past the failure ("should not visit p anymore", §4.3).
+	if tok.Step < len(tok.Route) {
+		w.hops++
+		w.bytes += int64(tok.SM.Bytes())
+		w.comm.Send(tok.Route[tok.Step], tagToken, tok, tok.SM.Bytes())
+		return
+	}
+	w.comm.Send(w.coordRank, tagFinished, tok, 0)
+}
+
+// record stores this machine's copy of the submodel. In the distributed
+// shape the decoded token is already a private copy, so it doubles as the
+// fault-tolerance replica; in the shared shape a deep clone is taken when
+// replicas are on, and a shared pointer (version -1: always current) is kept
+// otherwise.
+func (w *worker) record(tok *Token) {
+	switch {
+	case !w.shared:
+		w.local[tok.ID] = localEntry{sm: tok.SM, version: tok.Version}
+	case w.replicas:
+		w.local[tok.ID] = localEntry{sm: tok.SM.Clone(), version: tok.Version}
+	default:
+		w.local[tok.ID] = localEntry{sm: tok.SM, version: -1}
+	}
+}
+
+func (w *worker) inventory() []AckEntry {
+	out := make([]AckEntry, 0, len(w.local))
+	for id, entry := range w.local {
+		out = append(out, AckEntry{ID: id, Version: entry.version})
+	}
+	return out
+}
+
+func (w *worker) runZStep() {
+	model := make([]Submodel, w.m)
+	for id := range model {
+		entry, ok := w.local[id]
+		if !ok {
+			panic(fmt.Sprintf("core: machine %d missing submodel %d at Z step", w.rank, id))
+		}
+		model[id] = entry.sm
+	}
+	changed := w.prob.ZStep(w.shard, model)
+	w.comm.Send(w.coordRank, tagZDone, ZDoneMsg{Changed: changed}, 0)
+}
+
+// trainOrder mirrors sgd.Order without importing it (the engine stays
+// decoupled from the trainers).
+func trainOrder(n int, shuffle bool, rng *rand.Rand) []int {
+	if !shuffle {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	return rng.Perm(n)
+}

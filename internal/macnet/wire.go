@@ -1,0 +1,48 @@
+package macnet
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Wire encoding of the deep net's circulating submodels (one unit's weight
+// vector each), mirroring binauto/wire.go: the TCP fabric gob-serializes
+// tokens, so unit submodels carry their complete state — weights plus the
+// fixed step size — across process boundaries.
+
+// unitWire is the on-the-wire form of unitSub.
+type unitWire struct {
+	ID  int
+	Ref UnitRef
+	W   []float64
+	K   int
+	Eta float64
+}
+
+// GobEncode implements gob.GobEncoder.
+func (u *unitSub) GobEncode() ([]byte, error) {
+	w := unitWire{ID: u.id, Ref: u.ref, W: u.w, K: u.k, Eta: u.eta}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&w); err != nil {
+		return nil, fmt.Errorf("macnet: encode unit submodel: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (u *unitSub) GobDecode(b []byte) error {
+	var w unitWire
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
+		return fmt.Errorf("macnet: decode unit submodel: %w", err)
+	}
+	if len(w.W) == 0 {
+		return fmt.Errorf("macnet: unit submodel %d has no weights", w.ID)
+	}
+	*u = unitSub{id: w.ID, ref: w.Ref, w: w.W, k: w.K, eta: w.Eta}
+	return nil
+}
+
+func init() {
+	gob.Register(&unitSub{})
+}

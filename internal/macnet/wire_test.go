@@ -1,0 +1,42 @@
+package macnet
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestUnitSubGobRoundTrip(t *testing.T) {
+	var orig core.Submodel = &unitSub{
+		id:  4,
+		ref: UnitRef{Layer: 1, Unit: 2},
+		w:   []float64{0.5, -1, 0.25, 2},
+		k:   2,
+		eta: 0.3,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&orig); err != nil {
+		t.Fatal(err)
+	}
+	var back core.Submodel
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, back) {
+		t.Fatalf("unit submodel round trip lost state:\norig %#v\nback %#v", orig, back)
+	}
+}
+
+func TestUnitSubDecodeRejectsEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&unitWire{ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var u unitSub
+	if err := u.GobDecode(buf.Bytes()); err == nil {
+		t.Fatal("weightless unit must not decode")
+	}
+}
