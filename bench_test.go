@@ -7,13 +7,16 @@ package parmac
 // iteration, and the simulator/theory speedup evaluations.
 
 import (
+	"fmt"
 	"io"
+	"math/rand"
 	"testing"
 
 	"repro/internal/binauto"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/perf"
 	"repro/internal/retrieval"
 	"repro/internal/sim"
 	"repro/internal/speedup"
@@ -106,6 +109,68 @@ func BenchmarkZStepAlternate(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Solve(ds.Point(i%ds.N, buf), z, i%ds.N)
+	}
+}
+
+// BenchmarkZStepEnumerateD128 measures the exact Gray-code solve at SIFT
+// dimension (L=12, D=128), the regime where the Gram-incremental walk pays
+// off most: O(L) per candidate instead of O(D).
+func BenchmarkZStepEnumerateD128(b *testing.B) {
+	ds := dataset.GISTLike(64, 128, 8, 7)
+	m := perf.RandomBA(128, 12, 7)
+	s := binauto.NewZSolver(m, 0.5, binauto.ZEnumerate)
+	z := m.Encode(ds)
+	buf := make([]float64, ds.D)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Solve(ds.Point(i%ds.N, buf), z, i%ds.N)
+	}
+}
+
+// BenchmarkZStepAlternateD128 measures the relaxed+alternating solve at SIFT
+// dimension (L=32, D=128); flip candidates cost O(1) against the Gram matrix.
+func BenchmarkZStepAlternateD128(b *testing.B) {
+	ds := dataset.GISTLike(64, 128, 8, 8)
+	m := perf.RandomBA(128, 32, 8)
+	s := binauto.NewZSolver(m, 0.5, binauto.ZAlternate)
+	z := m.Encode(ds)
+	buf := make([]float64, ds.D)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Solve(ds.Point(i%ds.N, buf), z, i%ds.N)
+	}
+}
+
+// BenchmarkDecoderReconstruct measures packed-word f(z) reconstruction.
+func BenchmarkDecoderReconstruct(b *testing.B) {
+	m := perf.RandomBA(128, 32, 10)
+	z := retrieval.NewCodes(256, 32)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < z.N; i++ {
+		z.SetWord64(i, rng.Uint64()&0xFFFFFFFF)
+	}
+	dst := make([]float64, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Dec.Reconstruct(z, i%z.N, dst)
+	}
+}
+
+// BenchmarkRunZStep sweeps the full shard-local Z step over worker counts
+// (the per-machine multicore knob); output is bit-identical across the sweep.
+func BenchmarkRunZStep(b *testing.B) {
+	ds := dataset.GISTLike(4000, 64, 8, 13)
+	m := perf.RandomBA(64, 16, 13)
+	init := m.Encode(ds)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				z := init.Clone()
+				b.StartTimer()
+				binauto.RunZStepParallel(m, ds, z, 0.5, binauto.ZAlternate, workers)
+			}
+		})
 	}
 }
 

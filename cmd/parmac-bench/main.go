@@ -1,4 +1,5 @@
-// parmac-bench regenerates the paper's tables and figures as text tables.
+// parmac-bench regenerates the paper's tables and figures as text tables,
+// and doubles as the machine-readable perf harness.
 //
 // Usage:
 //
@@ -6,9 +7,13 @@
 //	parmac-bench -exp all            # everything (slow)
 //	parmac-bench -list               # available experiment ids
 //	parmac-bench -exp fig7 -quick    # reduced scale
+//	parmac-bench -json -label pr4    # write BENCH_pr4.json (hot-path
+//	                                 # micro-benches + Z-step core sweep)
 //
 // Each experiment id matches a table or figure of the paper; see DESIGN.md §4
-// for the mapping and EXPERIMENTS.md for paper-vs-measured notes.
+// for the mapping and EXPERIMENTS.md for paper-vs-measured notes. The -json
+// mode records ns/op and allocs for every hot path plus a serial-vs-parallel
+// Z-step sweep, so each perf-relevant PR can commit its trajectory point.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/perf"
 )
 
 func main() {
@@ -24,7 +30,27 @@ func main() {
 	quick := flag.Bool("quick", false, "run at reduced scale")
 	seed := flag.Int64("seed", 1, "random seed")
 	list := flag.Bool("list", false, "list available experiments")
+	jsonMode := flag.Bool("json", false, "run the perf harness and write BENCH_<label>.json")
+	label := flag.String("label", "local", "label for the -json report file")
+	outDir := flag.String("outdir", ".", "directory for the -json report file")
 	flag.Parse()
+
+	if *jsonMode {
+		rep := perf.Collect(*label, *quick)
+		path, err := rep.Write(*outDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		for _, b := range rep.Benchmarks {
+			fmt.Printf("%-34s %12.1f ns/op %6d allocs/op\n", b.Name, b.NsPerOp, b.AllocsPerOp)
+		}
+		for _, s := range rep.ZStepSweep {
+			fmt.Printf("RunZStep workers=%-2d %16.0f ns/op  speedup %.2fx\n", s.Workers, s.NsPerOp, s.SpeedupVsSerial)
+		}
+		fmt.Printf("report written to %s\n", path)
+		return
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("available experiments:")

@@ -39,6 +39,7 @@ import (
 type options struct {
 	n, d, clusters, bits, p int
 	epochs, iters, queries  int
+	cores                   int
 	mu0, muFactor           float64
 	shuffle, approxZ        bool
 	seed                    int64
@@ -62,6 +63,7 @@ func parseFlags() *options {
 	flag.IntVar(&o.bits, "bits", 16, "code length L")
 	flag.IntVar(&o.p, "p", 4, "machines P")
 	flag.IntVar(&o.epochs, "e", 1, "epochs per W step")
+	flag.IntVar(&o.cores, "cores", 0, "Z-step goroutines per machine (0/1 serial, -1 all cores)")
 	flag.IntVar(&o.iters, "iters", 10, "MAC iterations")
 	flag.Float64Var(&o.mu0, "mu0", 1e-4, "initial penalty parameter")
 	flag.Float64Var(&o.muFactor, "mufactor", 2, "penalty growth factor")
@@ -171,6 +173,7 @@ func buildProblem(o *options, ds *dataset.Dataset) *binauto.ParMACProblem {
 	}
 	return binauto.NewParMACProblem(ds, shards, binauto.ParMACConfig{
 		L: o.bits, Mu0: o.mu0, MuFactor: o.muFactor, ZMethod: zm, Seed: o.seed,
+		Parallel: o.cores,
 	})
 }
 
@@ -247,6 +250,7 @@ func spawnWorkers(o *options, addr string) []*exec.Cmd {
 			"-n", strconv.Itoa(o.n), "-d", strconv.Itoa(o.d),
 			"-clusters", strconv.Itoa(o.clusters), "-bits", strconv.Itoa(o.bits),
 			"-p", strconv.Itoa(o.p), "-seed", strconv.FormatInt(o.seed, 10),
+			"-cores", strconv.Itoa(o.cores),
 			"-mu0", fmt.Sprint(o.mu0), "-mufactor", fmt.Sprint(o.muFactor),
 			"-approxz=" + strconv.FormatBool(o.approxZ),
 			"-queries", strconv.Itoa(o.queries),

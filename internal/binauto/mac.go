@@ -183,15 +183,13 @@ func RunMAC(pts sgd.Points, cfg MACConfig) (*Model, *retrieval.Codes, []IterStat
 	return m, z, stats
 }
 
-// codesEqualHash reports whether z equals h(X) everywhere.
+// codesEqualHash reports whether z equals h(X) everywhere — one packed-word
+// compare per point (L <= 64 is guaranteed by the Z step that ran before).
 func codesEqualHash(m *Model, pts sgd.Points, z *retrieval.Codes) bool {
 	buf := make([]float64, m.D())
 	for i := 0; i < pts.NumPoints(); i++ {
-		x := pts.Point(i, buf)
-		for l := range m.Enc {
-			if z.Bit(i, l) != m.Enc[l].Predict(x) {
-				return false
-			}
+		if z.Word64(i) != m.EncodePointWord(pts.Point(i, buf)) {
+			return false
 		}
 	}
 	return true

@@ -11,6 +11,7 @@
 package binauto
 
 import (
+	"math/bits"
 	"math/rand"
 
 	"repro/internal/linreg"
@@ -45,14 +46,19 @@ func (d *Decoder) L() int { return d.W.Rows }
 func (d *Decoder) D() int { return d.W.Cols }
 
 // Reconstruct writes f(z) for code i of codes into dst (allocated when nil).
+// It walks the set bits of the packed words directly instead of testing all L
+// bits one at a time.
 func (d *Decoder) Reconstruct(codes *retrieval.Codes, i int, dst []float64) []float64 {
 	if dst == nil {
 		dst = make([]float64, d.D())
 	}
 	copy(dst, d.C)
-	for l := 0; l < d.L(); l++ {
-		if codes.Bit(i, l) {
-			vec.Axpy(1, d.W.Row(l), dst)
+	for wi, w := range codes.Code(i) {
+		base := wi * 64
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &= w - 1
+			vec.Axpy(1, d.W.Row(base+b), dst)
 		}
 	}
 	return dst
@@ -104,11 +110,33 @@ func (m *Model) EncodePoint(x []float64, bits []bool) []bool {
 	return bits
 }
 
-// Encode hashes every point of pts into packed codes.
+// EncodePointWord returns h(x) packed into one uint64, bit l = h_l(x).
+// Valid for L <= 64, the packed-word regime every training path enforces.
+func (m *Model) EncodePointWord(x []float64) uint64 {
+	if len(m.Enc) > 64 {
+		panic("binauto: EncodePointWord needs L <= 64")
+	}
+	var w uint64
+	for l := range m.Enc {
+		if m.Enc[l].Predict(x) {
+			w |= 1 << uint(l)
+		}
+	}
+	return w
+}
+
+// Encode hashes every point of pts into packed codes, one word store per
+// point when L <= 64.
 func (m *Model) Encode(pts sgd.Points) *retrieval.Codes {
 	n := pts.NumPoints()
 	codes := retrieval.NewCodes(n, m.L())
 	buf := make([]float64, m.D())
+	if m.L() <= 64 {
+		for i := 0; i < n; i++ {
+			codes.SetWord64(i, m.EncodePointWord(pts.Point(i, buf)))
+		}
+		return codes
+	}
 	for i := 0; i < n; i++ {
 		x := pts.Point(i, buf)
 		for l := range m.Enc {
@@ -129,9 +157,15 @@ func (m *Model) EBA(pts sgd.Points) float64 {
 	for i := 0; i < n; i++ {
 		x := pts.Point(i, buf)
 		copy(rec, m.Dec.C)
-		for l := range m.Enc {
-			if m.Enc[l].Predict(x) {
-				vec.Axpy(1, m.Dec.W.Row(l), rec)
+		if m.L() <= 64 {
+			for w := m.EncodePointWord(x); w != 0; w &= w - 1 {
+				vec.Axpy(1, m.Dec.W.Row(bits.TrailingZeros64(w)), rec)
+			}
+		} else {
+			for l := range m.Enc {
+				if m.Enc[l].Predict(x) {
+					vec.Axpy(1, m.Dec.W.Row(l), rec)
+				}
 			}
 		}
 		total += vec.SqDist(x, rec)
@@ -141,7 +175,8 @@ func (m *Model) EBA(pts sgd.Points) float64 {
 
 // EQ computes the quadratic-penalty objective of eq. (3):
 // Σ_n ‖x_n − f(z_n)‖² + μ‖z_n − h(x_n)‖². Since z and h(x) are binary, the
-// penalty term is μ times the Hamming distance.
+// penalty term is μ times the Hamming distance, a popcount over packed words
+// when L <= 64.
 func (m *Model) EQ(pts sgd.Points, z *retrieval.Codes, mu float64) float64 {
 	n := pts.NumPoints()
 	if z.N != n {
@@ -155,9 +190,13 @@ func (m *Model) EQ(pts sgd.Points, z *retrieval.Codes, mu float64) float64 {
 		x := pts.Point(i, buf)
 		m.Dec.Reconstruct(z, i, rec)
 		total += vec.SqDist(x, rec)
-		for l := range m.Enc {
-			if z.Bit(i, l) != m.Enc[l].Predict(x) {
-				total += mu
+		if m.L() <= 64 {
+			total += mu * float64(bits.OnesCount64(z.Word64(i)^m.EncodePointWord(x)))
+		} else {
+			for l := range m.Enc {
+				if z.Bit(i, l) != m.Enc[l].Predict(x) {
+					total += mu
+				}
 			}
 		}
 	}
@@ -172,16 +211,20 @@ type CodesPoints struct{ Z *retrieval.Codes }
 // NumPoints returns the number of codes.
 func (c CodesPoints) NumPoints() int { return c.Z.N }
 
-// Point writes code i as a 0/1 float vector into dst.
+// Point writes code i as a 0/1 float vector into dst: clear, then set only
+// the positions of the set bits read word by word.
 func (c CodesPoints) Point(i int, dst []float64) []float64 {
 	if dst == nil {
 		dst = make([]float64, c.Z.L)
 	}
 	for l := 0; l < c.Z.L; l++ {
-		if c.Z.Bit(i, l) {
-			dst[l] = 1
-		} else {
-			dst[l] = 0
+		dst[l] = 0
+	}
+	for wi, w := range c.Z.Code(i) {
+		base := wi * 64
+		for w != 0 {
+			dst[base+bits.TrailingZeros64(w)] = 1
+			w &= w - 1
 		}
 	}
 	return dst

@@ -1,6 +1,9 @@
 package binauto
 
 import (
+	"slices"
+	"sync"
+
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/retrieval"
@@ -42,6 +45,12 @@ type ParMACConfig struct {
 	// grouping).
 	DecoderGroups int
 
+	// Parallel is the number of goroutines each machine uses for its
+	// shard-local Z step: 0 or 1 runs serially, < 0 uses every core
+	// (GOMAXPROCS). Points are independent, so any value produces codes
+	// bit-identical to the serial pass.
+	Parallel int
+
 	ZMethod ZMethod
 	Seed    int64
 
@@ -57,6 +66,16 @@ type ParMACProblem struct {
 	encs   []*encoderSub
 	decs   []*decoderSub
 	mu     float64
+
+	// zk caches the per-iteration Z-step kernel: the assembled model, its
+	// decoder Gram matrix and the Cholesky factor of the relaxed system are
+	// built once per (model, μ) and shared by every machine's ZStep call —
+	// in the in-process engine all P machines see value-identical models, so
+	// without the cache each of them would redo the same factorisation.
+	zk struct {
+		sync.Mutex
+		kernel *ZKernel
+	}
 }
 
 // NewParMACProblem builds the distributed BA problem over the given dataset
@@ -95,9 +114,7 @@ func NewParMACProblem(ds *dataset.Dataset, shardIdx [][]int, cfg ParMACConfig) *
 	for _, idx := range shardIdx {
 		z := retrieval.NewCodes(len(idx), cfg.L)
 		for k, i := range idx {
-			for b := 0; b < cfg.L; b++ {
-				z.SetBit(k, b, initZ.Bit(i, b))
-			}
+			z.CopyCode(k, initZ, i)
 		}
 		p.shards = append(p.shards, &Shard{X: subsetPoints{ds, idx}, Z: z})
 	}
@@ -130,10 +147,7 @@ func (p *ParMACProblem) AddShard(pts sgd.Points) int {
 	m := p.AssembleModel()
 	buf := make([]float64, p.d)
 	for i := 0; i < pts.NumPoints(); i++ {
-		x := pts.Point(i, buf)
-		for b := 0; b < p.cfg.L; b++ {
-			z.SetBit(i, b, m.Enc[b].Predict(x))
-		}
+		z.SetWord64(i, m.EncodePointWord(pts.Point(i, buf)))
 	}
 	p.shards = append(p.shards, &Shard{X: pts, Z: z})
 	return len(p.shards) - 1
@@ -157,8 +171,9 @@ func (p *ParMACProblem) NumShards() int { return len(p.shards) }
 // Shard implements core.Problem.
 func (p *ParMACProblem) Shard(i int) core.Shard { return p.shards[i] }
 
-// OnIterationStart advances the μ schedule (μ_i = μ0·aⁱ) and re-arms the
-// per-iteration SGD step-size auto-tuning (§8.1).
+// OnIterationStart advances the μ schedule (μ_i = μ0·aⁱ), re-arms the
+// per-iteration SGD step-size auto-tuning (§8.1) and drops the cached Z-step
+// kernel (the W step is about to change the model it was built from).
 func (p *ParMACProblem) OnIterationStart(iter int) {
 	p.mu = p.cfg.Mu0
 	for i := 0; i < iter; i++ {
@@ -170,6 +185,9 @@ func (p *ParMACProblem) OnIterationStart(iter int) {
 	for _, d := range p.decs {
 		d.tuned = false
 	}
+	p.zk.Lock()
+	p.zk.kernel = nil
+	p.zk.Unlock()
 }
 
 // Mu returns the current penalty parameter.
@@ -188,12 +206,50 @@ func (p *ParMACProblem) OnModelSync(model []core.Submodel) {
 	}
 }
 
-// ZStep implements core.Problem: assemble the machine-local model and solve
-// the binary proximal operator for every shard point.
+// ZStep implements core.Problem: solve the binary proximal operator for
+// every shard point, with cfg.Parallel goroutines over the shard. The solver
+// construction — decoder Gram matrix, Cholesky factorisation, encoder
+// gathering — is hoisted into a kernel shared across machines: at the Z step
+// every machine holds a value-identical model (the coordinator repairs stale
+// copies when the W step drains), so the first caller builds the kernel and
+// the rest reuse it.
 func (p *ParMACProblem) ZStep(shard int, model []core.Submodel) int {
-	m := assembleModel(p.cfg.L, p.d, model)
+	k := p.zKernel(model)
 	sh := p.shards[shard]
-	return RunZStep(m, sh.X, sh.Z, p.mu, p.cfg.ZMethod)
+	return k.Run(sh.X, sh.Z, core.Cores(p.cfg.Parallel))
+}
+
+// zKernel returns the shared Z kernel for this machine's model, building it
+// when none is cached. The value-identical-models assumption is checked, not
+// trusted: the O(L·D) weight comparison is noise next to the O(L²·D)
+// factorisation it saves, and a caller passing a genuinely different model
+// (a custom driver outside the engine's repair protocol) gets a correct
+// fresh kernel instead of silently stale codes.
+func (p *ParMACProblem) zKernel(model []core.Submodel) *ZKernel {
+	m := assembleModel(p.cfg.L, p.d, model)
+	p.zk.Lock()
+	defer p.zk.Unlock()
+	if k := p.zk.kernel; k != nil && k.Mu == p.mu && modelsEqual(k.Model, m) {
+		return k
+	}
+	p.zk.kernel = NewZKernel(m, p.mu, p.cfg.ZMethod)
+	return p.zk.kernel
+}
+
+// modelsEqual reports whether two assembled BAs have identical parameters.
+// The cached side is always NewZKernel's private snapshot, never a view of
+// the live submodels, so in-place weight mutation shows up as a mismatch
+// here rather than comparing aliased slices against themselves.
+func modelsEqual(a, b *Model) bool {
+	if a.L() != b.L() || a.D() != b.D() {
+		return false
+	}
+	for l := range a.Enc {
+		if a.Enc[l].B != b.Enc[l].B || !slices.Equal(a.Enc[l].W, b.Enc[l].W) {
+			return false
+		}
+	}
+	return slices.Equal(a.Dec.C, b.Dec.C) && slices.Equal(a.Dec.W.Data, b.Dec.W.Data)
 }
 
 // AssembleModel builds a *Model from the problem's authoritative submodels
@@ -442,9 +498,7 @@ func (p *ParMACProblem) GatherCodes() *retrieval.Codes {
 	at := 0
 	for _, sh := range p.shards {
 		for i := 0; i < sh.Z.N; i++ {
-			for b := 0; b < p.cfg.L; b++ {
-				out.SetBit(at, b, sh.Z.Bit(i, b))
-			}
+			out.CopyCode(at, sh.Z, i)
 			at++
 		}
 	}

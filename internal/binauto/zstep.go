@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/bits"
 
+	"repro/internal/core"
 	"repro/internal/retrieval"
 	"repro/internal/sgd"
 	"repro/internal/vec"
@@ -24,7 +25,7 @@ const (
 	// optimisation otherwise").
 	ZAuto ZMethod = iota
 	// ZEnumerate searches all 2^L codes exactly, walking a Gray code so each
-	// candidate costs O(D).
+	// candidate costs O(L) against the decoder Gram matrix.
 	ZEnumerate
 	// ZAlternate solves the relaxed problem in [0,1]^L, truncates, then
 	// alternates single-bit flips to a local minimum.
@@ -35,27 +36,38 @@ const (
 // point matches the paper's use of enumeration at L=16.
 const EnumLimit = 16
 
-// ZSolver solves the Z step for a fixed model and μ. Constructing it factors
-// the L×L system of the relaxed initialisation once, so per-point solves are
-// O(L²) + the bit-flip passes.
-type ZSolver struct {
+// ZKernel is the per-(model, μ) precomputation shared by every Z solve: the
+// decoder Gram matrix G = W·Wᵀ and, for the alternating method, the Cholesky
+// factor of (G + μI) used by the relaxed initialisation. Both solvers work
+// against G instead of the D-dimensional residual: with the residual
+// r = x − c − Σ_l z_l B_l, flipping bit b changes the error by ∓2 B_b·r + G_bb,
+// and the vector q = W·r can be maintained incrementally at O(L) per flip
+// (q ∓= G column b). That turns every candidate evaluation from O(D) into
+// O(L) — a 10–60× inner-loop reduction at the paper's D=128–960, L=8–32 —
+// while computing exactly the same quantities.
+//
+// A kernel is immutable after construction and safe for concurrent use;
+// per-goroutine scratch lives in the ZSolvers it hands out.
+type ZKernel struct {
 	Model  *Model
 	Mu     float64
 	Method ZMethod
 
-	bSqNorm []float64     // ‖B_l‖², l = 0..L-1
-	chol    *vec.Cholesky // factor of (WWᵀ + μI), for the relaxed init
-	// scratch
-	h    []bool
-	r    []float64
-	rhs  []float64
-	zRel []float64
-	xmc  []float64
+	gram *vec.Matrix   // G = W·Wᵀ (L×L, symmetric)
+	chol *vec.Cholesky // factor of (G + μI), for the relaxed init (ZAlternate)
+
+	// The L per-bit SVM weight rows gathered into one contiguous L×D matrix
+	// (plus biases), so h(x) is a blocked matvec instead of L pointer-chased
+	// dot products. MulVec reproduces Dot's summation order per row, so the
+	// bits equal svm.Linear.Predict exactly.
+	encW *vec.Matrix
+	encB []float64
 }
 
-// NewZSolver prepares a solver for the given model and penalty value.
-func NewZSolver(m *Model, mu float64, method ZMethod) *ZSolver {
-	l, d := m.L(), m.D()
+// NewZKernel precomputes the shared Z-step state for the given model and
+// penalty value: O(L²·D) once, amortised over every point solved with it.
+func NewZKernel(m *Model, mu float64, method ZMethod) *ZKernel {
+	l := m.L()
 	if method == ZAuto {
 		if l <= EnumLimit {
 			method = ZEnumerate
@@ -69,50 +81,134 @@ func NewZSolver(m *Model, mu float64, method ZMethod) *ZSolver {
 	if l > 64 {
 		panic("binauto: code length limited to 64 bits (one packed word)")
 	}
-	s := &ZSolver{
-		Model: m, Mu: mu, Method: method,
-		bSqNorm: make([]float64, l),
-		h:       make([]bool, l),
-		r:       make([]float64, d),
-		rhs:     make([]float64, l),
-		zRel:    make([]float64, l),
-		xmc:     make([]float64, d),
+	// Snapshot the model: callers (assembleModel in particular) hand in
+	// weight slices aliased with live submodels, and the Gram/Cholesky/
+	// encoder state derived below must never drift from Model if those are
+	// later mutated in place.
+	k := &ZKernel{Model: m.Clone(), Mu: mu, Method: method}
+	m = k.Model
+	k.encW = vec.NewMatrix(l, m.D())
+	k.encB = make([]float64, l)
+	for i, e := range m.Enc {
+		copy(k.encW.Row(i), e.W)
+		k.encB[i] = e.B
 	}
+	// G = W·Wᵀ (L×L, symmetric).
+	g := vec.NewMatrix(l, l)
 	for i := 0; i < l; i++ {
-		s.bSqNorm[i] = vec.SqNorm(m.Dec.W.Row(i))
-	}
-	if method == ZAlternate {
-		// G = W·Wᵀ + μI (L×L), SPD for μ > 0.
-		g := vec.NewMatrix(l, l)
-		for i := 0; i < l; i++ {
-			for j := i; j < l; j++ {
-				v := vec.Dot(m.Dec.W.Row(i), m.Dec.W.Row(j))
-				g.Set(i, j, v)
-				g.Set(j, i, v)
-			}
+		for j := i; j < l; j++ {
+			v := vec.Dot(m.Dec.W.Row(i), m.Dec.W.Row(j))
+			g.Set(i, j, v)
+			g.Set(j, i, v)
 		}
+	}
+	k.gram = g
+	if method == ZAlternate {
+		// (G + μI), SPD for μ > 0. Factored on a copy so gram stays pure G.
+		a := g.Clone()
 		jitter := mu
 		if jitter <= 0 {
 			jitter = 1e-8
 		}
-		g.AddScaledIdentity(jitter)
-		ch, err := vec.NewCholesky(g)
+		a.AddScaledIdentity(jitter)
+		ch, err := vec.NewCholesky(a)
 		if err != nil {
-			g.AddScaledIdentity(1e-6 * (1 + vec.Norm(g.Data)))
-			ch, err = vec.NewCholesky(g)
+			a.AddScaledIdentity(1e-6 * (1 + vec.Norm(a.Data)))
+			ch, err = vec.NewCholesky(a)
 			if err != nil {
 				panic("binauto: relaxed Z system not factorisable")
 			}
 		}
-		s.chol = ch
+		k.chol = ch
 	}
-	return s
+	return k
 }
+
+// NewSolver returns a solver sharing this kernel's precomputation. Solvers
+// are cheap (scratch slices only); create one per goroutine.
+func (k *ZKernel) NewSolver() *ZSolver {
+	l, d := k.Model.L(), k.Model.D()
+	return &ZSolver{
+		Model: k.Model, Mu: k.Mu, Method: k.Method, k: k,
+		t:    make([]float64, l),
+		q:    make([]float64, l),
+		rhs:  make([]float64, l),
+		zRel: make([]float64, l),
+		xmc:  make([]float64, d),
+	}
+}
+
+// Run solves every point of pts with up to workers goroutines (one solver
+// each) and returns how many codes changed. Points are independent, so the
+// result is bit-identical to a serial pass regardless of workers.
+func (k *ZKernel) Run(pts sgd.Points, z *retrieval.Codes, workers int) int {
+	n := pts.NumPoints()
+	if workers <= 1 || n < core.MinParallelPoints {
+		s := k.NewSolver()
+		buf := make([]float64, k.Model.D())
+		changed := 0
+		for i := 0; i < n; i++ {
+			if s.Solve(pts.Point(i, buf), z, i) {
+				changed++
+			}
+		}
+		return changed
+	}
+	if workers > n/(core.MinParallelPoints/2) {
+		workers = n / (core.MinParallelPoints / 2)
+	}
+	counts := make([]int, workers)
+	core.ParallelChunks(n, workers, func(w, lo, hi int) {
+		s := k.NewSolver()
+		buf := make([]float64, k.Model.D())
+		changed := 0
+		for i := lo; i < hi; i++ {
+			if s.Solve(pts.Point(i, buf), z, i) {
+				changed++
+			}
+		}
+		counts[w] = changed
+	})
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}
+
+// ZSolver solves the Z step for a fixed model and μ, carrying per-goroutine
+// scratch over a shared ZKernel. Not safe for concurrent use; create one
+// solver per goroutine with ZKernel.NewSolver.
+type ZSolver struct {
+	Model  *Model
+	Mu     float64
+	Method ZMethod
+
+	k *ZKernel
+	// scratch
+	hw      uint64    // packed h(x) of the point being solved
+	t       []float64 // W·(x−c)
+	q       []float64 // W·r, maintained incrementally across flips
+	rhs     []float64
+	zRel    []float64
+	xmc     []float64
+	lastObj float64
+}
+
+// NewZSolver prepares a solver for the given model and penalty value. It
+// builds a private kernel; callers solving many points across goroutines (or
+// repeatedly for the same μ) should build one ZKernel and share it.
+func NewZSolver(m *Model, mu float64, method ZMethod) *ZSolver {
+	return NewZKernel(m, mu, method).NewSolver()
+}
+
+// Kernel returns the shared precomputation this solver draws from.
+func (s *ZSolver) Kernel() *ZKernel { return s.k }
 
 // Solve optimises code i of z for input x in place. It returns true when the
 // code changed. Not safe for concurrent use; create one solver per goroutine.
 func (s *ZSolver) Solve(x []float64, z *retrieval.Codes, i int) bool {
-	s.Model.EncodePoint(x, s.h)
+	s.hw = s.encodeWord(x)
 	switch s.Method {
 	case ZEnumerate:
 		return s.solveEnum(x, z, i)
@@ -121,44 +217,75 @@ func (s *ZSolver) Solve(x []float64, z *retrieval.Codes, i int) bool {
 	}
 }
 
-// solveEnum walks all 2^L codes in Gray-code order, maintaining the residual
-// r = x − c − Σ_l z_l B_l incrementally so each candidate costs O(D).
-func (s *ZSolver) solveEnum(x []float64, z *retrieval.Codes, i int) bool {
-	m := s.Model
-	l := m.L()
-	d := m.D()
-	// Start at z = 0.
-	for j := 0; j < d; j++ {
-		s.r[j] = x[j] - m.Dec.C[j]
-	}
-	err := vec.SqNorm(s.r)
-	ham := 0
-	for b := 0; b < l; b++ {
-		if s.h[b] {
-			ham++ // z_b = 0 differs from h_b = 1
+// encodeWord computes h(x) packed into a word through the kernel's gathered
+// encoder matrix — bit l equals Model.Enc[l].Predict(x) exactly.
+func (s *ZSolver) encodeWord(x []float64) uint64 {
+	k := s.k
+	k.encW.MulVec(x, s.rhs)
+	var w uint64
+	for l, b := range k.encB {
+		if s.rhs[l]+b >= 0 {
+			w |= 1 << uint(l)
 		}
 	}
-	var cur uint64 // current code, bit b = z_b
+	return w
+}
+
+// LastObjective returns the objective value of the code chosen by the most
+// recent Solve, as accumulated incrementally through the Gram identities —
+// the quantity the property tests check against PointObjective.
+func (s *ZSolver) LastObjective() float64 { return s.lastObj }
+
+// begin loads the point into scratch: xmc = x − c, t = q = W·(x−c) (the only
+// O(L·D) work of a solve), and returns ‖x−c‖², the error at z = 0.
+func (s *ZSolver) begin(x []float64) float64 {
+	m := s.Model
+	for j, c := range m.Dec.C {
+		s.xmc[j] = x[j] - c
+	}
+	m.Dec.W.MulVec(s.xmc, s.t)
+	copy(s.q, s.t)
+	return vec.SqNorm(s.xmc)
+}
+
+// flipTo applies flipping bit b of cur to the incremental state: it returns
+// the new code and error, updating q = W·r at O(L) via the Gram column. The
+// update loops are written out (α = ±1) — this is the innermost statement of
+// the 2^L enumeration walk.
+func (s *ZSolver) flipTo(cur uint64, b int, err float64) (uint64, float64) {
+	grow := s.k.gram.Row(b)
+	q := s.q[:len(grow)]
+	mask := uint64(1) << uint(b)
+	if cur&mask == 0 {
+		// 0→1: r' = r − B_b; ‖r'‖² = ‖r‖² − 2 B_b·r + G_bb.
+		err += -2*q[b] + grow[b]
+		for j, g := range grow {
+			q[j] -= g
+		}
+		return cur | mask, err
+	}
+	err += 2*q[b] + grow[b]
+	for j, g := range grow {
+		q[j] += g
+	}
+	return cur &^ mask, err
+}
+
+// solveEnum walks all 2^L codes in Gray-code order. The error of each
+// candidate follows from its predecessor at O(L) via the Gram identities.
+func (s *ZSolver) solveEnum(x []float64, z *retrieval.Codes, i int) bool {
+	l := s.Model.L()
+	err := s.begin(x)
+	ham := bits.OnesCount64(s.hw) // z = 0 differs from h wherever h is 1
+	var cur uint64
 	best := cur
 	bestObj := err + s.Mu*float64(ham)
 
 	total := uint64(1) << uint(l)
 	for k := uint64(1); k < total; k++ {
 		flip := bits.TrailingZeros64(k) // Gray code flips this bit
-		row := m.Dec.W.Row(flip)
-		on := cur&(1<<uint(flip)) == 0 // flipping 0→1?
-		if on {
-			// r' = r − B; ‖r'‖² = ‖r‖² − 2 r·B + ‖B‖².
-			err += -2*vec.Dot(s.r, row) + s.bSqNorm[flip]
-			vec.Axpy(-1, row, s.r)
-			cur |= 1 << uint(flip)
-		} else {
-			err += 2*vec.Dot(s.r, row) + s.bSqNorm[flip]
-			vec.Axpy(1, row, s.r)
-			cur &^= 1 << uint(flip)
-		}
-		nowOne := cur&(1<<uint(flip)) != 0
-		if nowOne == s.h[flip] {
+		cur, err = s.flipTo(cur, flip, err)
+		if cur&(1<<uint(flip)) != 0 == (s.hw&(1<<uint(flip)) != 0) {
 			ham--
 		} else {
 			ham++
@@ -168,64 +295,60 @@ func (s *ZSolver) solveEnum(x []float64, z *retrieval.Codes, i int) bool {
 			best = cur
 		}
 	}
+	s.lastObj = bestObj
 	return s.store(best, z, i)
 }
 
 // solveAlt initialises z from the truncated relaxed solution
-// (WWᵀ + μI)z = W(x−c) + μh and then alternates single-bit flips until no
-// flip decreases the objective (§3.1).
+// (G + μI)z = W(x−c) + μh and then alternates single-bit flips until no flip
+// decreases the objective (§3.1). A flip candidate costs O(1) — the error
+// delta is ∓2 q_b + G_bb — and only accepted flips pay the O(L) q update, so
+// a full pass is O(L²) instead of O(L·D).
 func (s *ZSolver) solveAlt(x []float64, z *retrieval.Codes, i int) bool {
-	m := s.Model
-	l, d := m.L(), m.D()
-	for j := 0; j < d; j++ {
-		s.xmc[j] = x[j] - m.Dec.C[j]
-	}
+	l := s.Model.L()
+	err := s.begin(x)
 	// rhs = W(x−c) + μh.
+	copy(s.rhs, s.t)
 	for b := 0; b < l; b++ {
-		s.rhs[b] = vec.Dot(m.Dec.W.Row(b), s.xmc)
-		if s.h[b] {
+		if s.hw&(1<<uint(b)) != 0 {
 			s.rhs[b] += s.Mu
 		}
 	}
-	s.chol.Solve(s.rhs, s.zRel)
+	s.k.chol.Solve(s.rhs, s.zRel)
 	var cur uint64
 	for b := 0; b < l; b++ {
 		if s.zRel[b] >= 0.5 {
-			cur |= 1 << uint(b)
+			// Raise the bit through the incremental state so q and err track
+			// the truncated initial code.
+			cur, err = s.flipTo(cur, b, err)
 		}
 	}
-	// Residual for the truncated code.
-	copy(s.r, s.xmc)
-	for b := 0; b < l; b++ {
-		if cur&(1<<uint(b)) != 0 {
-			vec.Axpy(-1, m.Dec.W.Row(b), s.r)
-		}
-	}
+	ham := bits.OnesCount64(cur ^ s.hw)
+	g := s.k.gram
 	const maxPasses = 32
 	for pass := 0; pass < maxPasses; pass++ {
 		improved := false
 		for b := 0; b < l; b++ {
-			row := m.Dec.W.Row(b)
-			isOne := cur&(1<<uint(b)) != 0
+			mask := uint64(1) << uint(b)
+			isOne := cur&mask != 0
 			var dErr float64
 			if isOne {
-				// flipping 1→0: r' = r + B.
-				dErr = 2*vec.Dot(s.r, row) + s.bSqNorm[b]
+				// flipping 1→0: r' = r + B_b.
+				dErr = 2*s.q[b] + g.At(b, b)
 			} else {
-				dErr = -2*vec.Dot(s.r, row) + s.bSqNorm[b]
+				dErr = -2*s.q[b] + g.At(b, b)
 			}
 			// Flipping breaks a match with h (+μ) or restores one (−μ).
 			dHam := s.Mu
-			if isOne != s.h[b] {
+			if isOne != (s.hw&mask != 0) {
 				dHam = -s.Mu
 			}
 			if dErr+dHam < -1e-12 {
-				if isOne {
-					vec.Axpy(1, row, s.r)
-					cur &^= 1 << uint(b)
+				cur, err = s.flipTo(cur, b, err)
+				if dHam < 0 {
+					ham--
 				} else {
-					vec.Axpy(-1, row, s.r)
-					cur |= 1 << uint(b)
+					ham++
 				}
 				improved = true
 			}
@@ -234,21 +357,18 @@ func (s *ZSolver) solveAlt(x []float64, z *retrieval.Codes, i int) bool {
 			break
 		}
 	}
+	s.lastObj = err + s.Mu*float64(ham)
 	return s.store(cur, z, i)
 }
 
-// store writes the code and reports whether it changed.
+// store writes the packed code in one word compare-and-write and reports
+// whether it changed (L <= 64, enforced by NewZKernel).
 func (s *ZSolver) store(code uint64, z *retrieval.Codes, i int) bool {
-	l := s.Model.L()
-	changed := false
-	for b := 0; b < l; b++ {
-		v := code&(1<<uint(b)) != 0
-		if z.Bit(i, b) != v {
-			changed = true
-			z.SetBit(i, b, v)
-		}
+	if z.Word64(i) == code {
+		return false
 	}
-	return changed
+	z.SetWord64(i, code)
+	return true
 }
 
 // PointObjective evaluates ‖x − f(z_i)‖² + μ‖z_i − h(x)‖² for diagnostics and
@@ -264,19 +384,18 @@ func PointObjective(m *Model, x []float64, z *retrieval.Codes, i int, mu float64
 	return obj
 }
 
-// RunZStep runs the solver over every point of pts, returning how many codes
-// changed. This is the whole Z step of MAC; in ParMAC each machine calls it
-// on its own shard with no communication (§4.1).
+// RunZStep runs the solver serially over every point of pts, returning how
+// many codes changed. This is the whole Z step of MAC; in ParMAC each machine
+// calls it on its own shard with no communication (§4.1).
 func RunZStep(m *Model, pts sgd.Points, z *retrieval.Codes, mu float64, method ZMethod) int {
-	s := NewZSolver(m, mu, method)
-	buf := make([]float64, m.D())
-	changed := 0
-	for i := 0; i < pts.NumPoints(); i++ {
-		if s.Solve(pts.Point(i, buf), z, i) {
-			changed++
-		}
-	}
-	return changed
+	return NewZKernel(m, mu, method).Run(pts, z, 1)
+}
+
+// RunZStepParallel is RunZStep over a pool of workers goroutines (one solver
+// each; workers <= 1 runs serially, workers < 0 uses every core). Codes are
+// independent per point, so the output is bit-identical to RunZStep.
+func RunZStepParallel(m *Model, pts sgd.Points, z *retrieval.Codes, mu float64, method ZMethod, workers int) int {
+	return NewZKernel(m, mu, method).Run(pts, z, core.Cores(workers))
 }
 
 // BruteForceZ solves one point by explicit search over all 2^L codes; test

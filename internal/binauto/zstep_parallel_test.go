@@ -1,0 +1,148 @@
+package binauto
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/retrieval"
+)
+
+// TestRunZStepParallelBitIdentical runs the Z step serially and with several
+// worker counts, for both solver methods, and demands bit-identical codes and
+// equal change counts. Run under -race (CI does) this also proves the workers
+// share nothing but the read-only kernel.
+func TestRunZStepParallelBitIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		l      int
+		method ZMethod
+	}{
+		{"enumerate-L10", 10, ZEnumerate},
+		{"alternate-L24", 24, ZAlternate},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := randomModel(16, tc.l, 42)
+			ds := dataset.GISTLike(500, 16, 4, 43)
+			init := m.Encode(ds)
+			serial := init.Clone()
+			wantChanged := RunZStep(m, ds, serial, 0.5, tc.method)
+			for _, workers := range []int{2, 3, 8, -1} {
+				par := init.Clone()
+				changed := RunZStepParallel(m, ds, par, 0.5, tc.method, workers)
+				if changed != wantChanged {
+					t.Fatalf("workers=%d: changed %d, serial %d", workers, changed, wantChanged)
+				}
+				if !par.Equal(serial) {
+					t.Fatalf("workers=%d: codes differ from serial pass", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestZKernelSharedAcrossSolvers exercises the hoisted construction: one
+// kernel, many solvers, same answers as independently constructed solvers.
+func TestZKernelSharedAcrossSolvers(t *testing.T) {
+	m := randomModel(8, 12, 7)
+	ds := dataset.GISTLike(40, 8, 3, 8)
+	k := NewZKernel(m, 0.25, ZAlternate)
+	zShared := retrieval.NewCodes(ds.N, 12)
+	zFresh := retrieval.NewCodes(ds.N, 12)
+	for i := 0; i < ds.N; i++ {
+		x := ds.Point(i, nil)
+		k.NewSolver().Solve(x, zShared, i)
+		NewZSolver(m, 0.25, ZAlternate).Solve(x, zFresh, i)
+	}
+	if !zShared.Equal(zFresh) {
+		t.Fatal("solvers over a shared kernel disagree with per-call construction")
+	}
+}
+
+// TestZKernelSnapshotsModel pins the staleness contract: NewZKernel clones
+// the model, so mutating the caller's weights in place afterwards neither
+// perturbs an existing kernel's answers nor slips past the modelsEqual guard
+// that decides whether ParMACProblem.zKernel may reuse its cache.
+func TestZKernelSnapshotsModel(t *testing.T) {
+	m := randomModel(8, 10, 21)
+	ds := dataset.GISTLike(30, 8, 3, 22)
+	k := NewZKernel(m, 0.25, ZEnumerate)
+	zBefore := retrieval.NewCodes(ds.N, 10)
+	for i := 0; i < ds.N; i++ {
+		k.NewSolver().Solve(ds.Point(i, nil), zBefore, i)
+	}
+	if !modelsEqual(k.Model, m) {
+		t.Fatal("freshly built kernel does not compare equal to its source model")
+	}
+	for _, e := range m.Enc {
+		e.W[0] += 1
+	}
+	m.Dec.W.Set(0, 0, m.Dec.W.At(0, 0)+1)
+	if modelsEqual(k.Model, m) {
+		t.Fatal("in-place weight mutation not detected: kernel aliases the live model")
+	}
+	zAfter := retrieval.NewCodes(ds.N, 10)
+	for i := 0; i < ds.N; i++ {
+		k.NewSolver().Solve(ds.Point(i, nil), zAfter, i)
+	}
+	if !zAfter.Equal(zBefore) {
+		t.Fatal("kernel answers changed after mutating the source model")
+	}
+}
+
+// TestGramObjectiveMatchesPointObjective is the property test of the Gram
+// rework: the objective value the solver accumulates incrementally (O(L) per
+// flip against G = W·Wᵀ) must match the O(D) PointObjective evaluation of
+// the chosen code to 1e-9, over random models, methods and penalty values.
+func TestGramObjectiveMatchesPointObjective(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		d := 4 + rng.Intn(12)
+		l := 2 + rng.Intn(9) // enumeration stays cheap up to L=10
+		mu := []float64{0, 1e-3, 0.5, 3}[trial%4]
+		method := []ZMethod{ZEnumerate, ZAlternate}[trial%2]
+		m := randomModel(d, l, int64(1000+trial))
+		ds := dataset.GISTLike(6, d, 2, int64(2000+trial))
+		k := NewZKernel(m, mu, method)
+		s := k.NewSolver()
+		z := retrieval.NewCodes(ds.N, l)
+		for i := 0; i < ds.N; i++ {
+			x := ds.Point(i, nil)
+			s.Solve(x, z, i)
+			want := PointObjective(m, x, z, i, mu)
+			if diff := math.Abs(s.LastObjective() - want); diff > 1e-9 {
+				t.Fatalf("trial %d (L=%d D=%d mu=%g method=%d) point %d: incremental objective %v vs direct %v (|Δ|=%g)",
+					trial, l, d, mu, method, i, s.LastObjective(), want, diff)
+			}
+		}
+	}
+}
+
+// TestParMACParallelMatchesSerial trains the full distributed BA with and
+// without Z-step parallelism and requires identical codes and models — the
+// knob must be a pure speed knob.
+func TestParMACParallelMatchesSerial(t *testing.T) {
+	ds := dataset.GISTLike(240, 8, 4, 77)
+	build := func(parallel int) *ParMACProblem {
+		shards := dataset.ShardIndices(ds.N, 3, nil)
+		return NewParMACProblem(ds, shards, ParMACConfig{
+			L: 8, Mu0: 1e-3, Seed: 77, Parallel: parallel,
+		})
+	}
+	run := func(p *ParMACProblem) *retrieval.Codes {
+		for it := 0; it < 3; it++ {
+			p.OnIterationStart(it)
+			model := p.Submodels()
+			for sh := 0; sh < p.NumShards(); sh++ {
+				p.ZStep(sh, model)
+			}
+		}
+		return p.GatherCodes()
+	}
+	serial := run(build(0))
+	parallel := run(build(4))
+	if !serial.Equal(parallel) {
+		t.Fatal("ParMAC Z step with Parallel=4 diverged from serial")
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The Z step is embarrassingly parallel within a machine — every point's
+// coordinate update depends only on the (fixed) model, so the paper charges
+// each machine t_Z^r per point on the assumption that all its cores are busy
+// (§5.1). ParallelChunks is the shard-local worker pool the Problem
+// implementations use to make that assumption true.
+
+// MinParallelPoints is the shard size below which a Z step should stay
+// serial: goroutine startup and WaitGroup synchronisation cost more than the
+// solves themselves on tiny shards. Problem implementations share this
+// threshold so the Parallel knob is a pure speed knob at every shard size.
+const MinParallelPoints = 64
+
+// Cores resolves a Z-step parallelism knob: 0 or 1 means serial, a negative
+// value means every core the process may use (GOMAXPROCS), and any other
+// value is taken literally.
+func Cores(p int) int {
+	switch {
+	case p < 0:
+		return runtime.GOMAXPROCS(0)
+	case p == 0:
+		return 1
+	default:
+		return p
+	}
+}
+
+// ParallelChunks splits [0, n) into at most workers contiguous chunks and
+// runs fn(worker, lo, hi) on each from its own goroutine, returning when all
+// chunks are done. fn receives a dense worker index in [0, workers) for
+// per-goroutine state (scratch buffers, counters). workers <= 1 (or n small
+// enough to need one chunk) runs fn(0, 0, n) on the calling goroutine —
+// serial callers pay no synchronisation.
+func ParallelChunks(n, workers int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	w := 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+		w++
+	}
+	wg.Wait()
+}

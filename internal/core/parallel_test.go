@@ -1,0 +1,54 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestCores(t *testing.T) {
+	if Cores(0) != 1 || Cores(1) != 1 {
+		t.Fatal("0 and 1 must mean serial")
+	}
+	if Cores(5) != 5 {
+		t.Fatal("positive values are literal")
+	}
+	if Cores(-1) < 1 {
+		t.Fatal("negative must resolve to at least one core")
+	}
+}
+
+func TestParallelChunksCoversRangeExactlyOnce(t *testing.T) {
+	for _, tc := range []struct{ n, workers int }{
+		{0, 4}, {1, 4}, {7, 3}, {100, 1}, {100, 7}, {5, 100},
+	} {
+		seen := make([]int32, tc.n)
+		ParallelChunks(tc.n, tc.workers, func(w, lo, hi int) {
+			if w < 0 || (tc.n > 0 && w >= tc.workers && tc.workers > 0) {
+				t.Errorf("n=%d workers=%d: worker index %d out of range", tc.n, tc.workers, w)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&seen[i], 1)
+			}
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d workers=%d: index %d visited %d times", tc.n, tc.workers, i, c)
+			}
+		}
+	}
+}
+
+func TestParallelChunksWorkerIndicesAreDense(t *testing.T) {
+	const n, workers = 64, 4
+	var hits [workers]int32
+	ParallelChunks(n, workers, func(w, lo, hi int) {
+		atomic.AddInt32(&hits[w], int32(hi-lo))
+	})
+	total := int32(0)
+	for _, h := range hits {
+		total += h
+	}
+	if total != n {
+		t.Fatalf("chunks covered %d of %d points", total, n)
+	}
+}

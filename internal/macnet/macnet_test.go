@@ -209,3 +209,37 @@ func TestAssembleNetRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+func TestNetZStepParallelMatchesSerial(t *testing.T) {
+	// The shard-local Z step fanned out over a goroutine pool must produce
+	// coordinates bitwise identical to the serial pass, for several worker
+	// counts (run under -race this also proves the workers share nothing).
+	xs, ys := toyRegression(300, 21)
+	build := func(parallel int) *ParMACProblem {
+		start := NewNet([]int{2, 5, 3, 1})
+		start.InitRandom(rand.New(rand.NewSource(22)), 0.3)
+		shards := dataset.ShardIndices(300, 2, nil)
+		return NewParMACProblem(start, xs, ys, shards, ParMACConfig{
+			Mu0: 1, Eta: 1, ZIters: 8, Parallel: parallel,
+		})
+	}
+	serial := build(0)
+	model := serial.Submodels()
+	wantChanged := make([]int, serial.NumShards())
+	for sh := range wantChanged {
+		wantChanged[sh] = serial.ZStep(sh, model)
+	}
+	for _, workers := range []int{2, 5, -1} {
+		par := build(workers)
+		for sh := 0; sh < par.NumShards(); sh++ {
+			if changed := par.ZStep(sh, par.Submodels()); changed != wantChanged[sh] {
+				t.Fatalf("workers=%d shard %d: changed %d, serial %d", workers, sh, changed, wantChanged[sh])
+			}
+			for layer := range par.shards[sh].C.Z {
+				if vec.MaxAbsDiff(par.shards[sh].C.Z[layer], serial.shards[sh].C.Z[layer]) != 0 {
+					t.Fatalf("workers=%d shard %d layer %d: coordinates differ from serial", workers, sh, layer)
+				}
+			}
+		}
+	}
+}

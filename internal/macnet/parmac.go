@@ -82,6 +82,12 @@ type ParMACConfig struct {
 	MuFactor float64
 	Eta      float64
 	ZIters   int
+
+	// Parallel is the number of goroutines each machine uses for its
+	// shard-local Z step: 0 or 1 serial, < 0 every core. Each point's
+	// coordinates are an independent subproblem, so the result is identical
+	// for any value.
+	Parallel int
 }
 
 // ParMACProblem implements core.Problem for the K-layer net.
@@ -169,29 +175,56 @@ func (p *ParMACProblem) OnModelSync(model []core.Submodel) {
 }
 
 // ZStep implements core.Problem: assemble the machine-local net and run the
-// per-point generalised proximal operator.
+// per-point generalised proximal operator, chunked over cfg.Parallel
+// goroutines. Unlike the binary autoencoder there is no Gram shortcut here —
+// the sigmoid layers make the per-point objective nonlinear in z — so the
+// win is purely the multicore fan-out; each worker reuses one before/after
+// snapshot buffer across its points instead of allocating two per point.
 func (p *ParMACProblem) ZStep(shard int, model []core.Submodel) int {
 	net := assembleNet(p.dims, model)
 	sh := p.shards[shard]
-	changed := 0
-	for i := 0; i < sh.X.Rows; i++ {
-		before := make([]float64, 0)
-		for _, z := range sh.C.Z {
-			before = append(before, z.Row(i)...)
-		}
-		ZStepPoint(net, sh.X.Row(i), sh.Y.Row(i), sh.C, i, p.mu, p.cfg.ZIters)
-		after := make([]float64, 0)
-		for _, z := range sh.C.Z {
-			after = append(after, z.Row(i)...)
-		}
-		for d := range before {
-			if before[d] != after[d] {
-				changed++
-				break
+	coordDim := 0
+	for _, z := range sh.C.Z {
+		coordDim += z.Cols
+	}
+	workers := core.Cores(p.cfg.Parallel)
+	if sh.X.Rows < core.MinParallelPoints {
+		workers = 1
+	}
+	counts := make([]int, workers)
+	core.ParallelChunks(sh.X.Rows, workers, func(w, lo, hi int) {
+		before := make([]float64, coordDim)
+		for i := lo; i < hi; i++ {
+			at := 0
+			for _, z := range sh.C.Z {
+				at += copy(before[at:], z.Row(i))
+			}
+			ZStepPoint(net, sh.X.Row(i), sh.Y.Row(i), sh.C, i, p.mu, p.cfg.ZIters)
+			if coordsChanged(sh.C, i, before) {
+				counts[w]++
 			}
 		}
+	})
+	changed := 0
+	for _, c := range counts {
+		changed += c
 	}
 	return changed
+}
+
+// coordsChanged reports whether point i's coordinates differ from the
+// concatenated snapshot in before.
+func coordsChanged(c *Coords, i int, before []float64) bool {
+	at := 0
+	for _, z := range c.Z {
+		for _, v := range z.Row(i) {
+			if before[at] != v {
+				return true
+			}
+			at++
+		}
+	}
+	return false
 }
 
 // AssembleNet builds a Net from the problem's authoritative submodels

@@ -1,0 +1,246 @@
+// Package perf is the machine-readable performance harness behind
+// `parmac-bench -json`: it runs the hot-path micro-benchmarks (Z-step
+// solvers, decoder reconstruction, vector kernels, Hamming scan) and a
+// serial-vs-parallel Z-step sweep over worker counts, and serialises the
+// results as a BENCH_<label>.json. Committing one such file per perf-relevant
+// PR gives the repository a perf trajectory — MLPerf's lesson that a speed
+// claim only counts when a reproducible harness records it.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/binauto"
+	"repro/internal/dataset"
+	"repro/internal/retrieval"
+	"repro/internal/vec"
+)
+
+// Result is one micro-benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"` // iterations the harness settled on
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// SweepPoint is one worker count of the Z-step scaling sweep.
+type SweepPoint struct {
+	Workers         int     `json:"workers"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+}
+
+// Report is the full harness output.
+type Report struct {
+	Label      string       `json:"label"`
+	Timestamp  string       `json:"timestamp"`
+	GoVersion  string       `json:"go_version"`
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	NumCPU     int          `json:"num_cpu"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Quick      bool         `json:"quick"`
+	Benchmarks []Result     `json:"benchmarks"`
+	ZStepSweep []SweepPoint `json:"zstep_sweep"`
+}
+
+func record(name string, r testing.BenchmarkResult) Result {
+	return Result{
+		Name:        name,
+		N:           r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// RandomBA builds a deterministic random binary autoencoder — the solver cost
+// profile matches a trained one and construction stays cheap at D=128. It is
+// the one fixture shared by this harness and the root `go test -bench`
+// benchmarks, so BENCH_<label>.json and go-test numbers measure the same
+// workloads.
+func RandomBA(d, l int, seed int64) *binauto.Model {
+	rng := rand.New(rand.NewSource(seed))
+	m := binauto.NewModel(d, l, 1e-4)
+	m.InitEncoderRandom(rng, 1)
+	m.Dec.W.FillGaussian(rng, 0.3)
+	for j := range m.Dec.C {
+		m.Dec.C[j] = rng.NormFloat64()
+	}
+	return m
+}
+
+// Collect runs the harness. quick shrinks the workloads so a CI smoke run
+// finishes in seconds; the recorded shapes stay identical.
+func Collect(label string, quick bool) *Report {
+	rep := &Report{
+		Label:      label,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      quick,
+	}
+
+	enumL := 12
+	if quick {
+		enumL = 8
+	}
+
+	// Z-step solvers at SIFT dimension (D=128).
+	{
+		ds := dataset.GISTLike(64, 128, 8, 7)
+		m := RandomBA(128, enumL, 7)
+		k := binauto.NewZKernel(m, 0.5, binauto.ZEnumerate)
+		s := k.NewSolver()
+		z := m.Encode(ds)
+		buf := make([]float64, ds.D)
+		rep.Benchmarks = append(rep.Benchmarks, record(
+			fmt.Sprintf("ZStepEnumerate/L=%d,D=128", enumL),
+			testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					s.Solve(ds.Point(i%ds.N, buf), z, i%ds.N)
+				}
+			})))
+	}
+	{
+		ds := dataset.GISTLike(64, 128, 8, 8)
+		m := RandomBA(128, 32, 8)
+		k := binauto.NewZKernel(m, 0.5, binauto.ZAlternate)
+		s := k.NewSolver()
+		z := m.Encode(ds)
+		buf := make([]float64, ds.D)
+		rep.Benchmarks = append(rep.Benchmarks, record(
+			"ZStepAlternate/L=32,D=128",
+			testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					s.Solve(ds.Point(i%ds.N, buf), z, i%ds.N)
+				}
+			})))
+	}
+
+	// Kernel construction (the cost the per-iteration cache hoists).
+	{
+		m := RandomBA(128, 32, 9)
+		rep.Benchmarks = append(rep.Benchmarks, record(
+			"NewZKernel/L=32,D=128",
+			testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					binauto.NewZKernel(m, 0.5, binauto.ZAlternate)
+				}
+			})))
+	}
+
+	// Packed-code decoder reconstruction.
+	{
+		m := RandomBA(128, 32, 10)
+		z := retrieval.NewCodes(256, 32)
+		rng := rand.New(rand.NewSource(11))
+		for i := 0; i < z.N; i++ {
+			z.SetWord64(i, rng.Uint64()&0xFFFFFFFF)
+		}
+		dst := make([]float64, 128)
+		rep.Benchmarks = append(rep.Benchmarks, record(
+			"DecoderReconstruct/L=32,D=128",
+			testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					m.Dec.Reconstruct(z, i%z.N, dst)
+				}
+			})))
+	}
+
+	// Vector kernels at SIFT/GIST dimensions.
+	for _, d := range []int{128, 960} {
+		a := make([]float64, d)
+		c := make([]float64, d)
+		for i := range a {
+			a[i] = float64(i%7) * 0.25
+			c[i] = float64(i%5) * 0.5
+		}
+		var sink float64
+		rep.Benchmarks = append(rep.Benchmarks, record(
+			fmt.Sprintf("VecDot/D=%d", d),
+			testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					sink += vec.Dot(a, c)
+				}
+			})))
+		_ = sink
+	}
+
+	// Packed Hamming linear scan (the retrieval hot path).
+	{
+		n := 100000
+		if quick {
+			n = 10000
+		}
+		base := retrieval.NewCodes(n, 64)
+		rng := rand.New(rand.NewSource(12))
+		for i := 0; i < n; i++ {
+			base.SetWord64(i, rng.Uint64())
+		}
+		query := []uint64{rng.Uint64()}
+		rep.Benchmarks = append(rep.Benchmarks, record(
+			fmt.Sprintf("TopKHamming/N=%d,L=64,k=50", n),
+			testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					retrieval.TopKHamming(base, query, 50)
+				}
+			})))
+	}
+
+	// Serial-vs-parallel full Z step at engine-iteration scale.
+	{
+		n := 4000
+		if quick {
+			n = 800
+		}
+		ds := dataset.GISTLike(n, 64, 8, 13)
+		m := RandomBA(64, 16, 13)
+		init := m.Encode(ds)
+		var serialNs float64
+		for _, workers := range []int{1, 2, 4, 8} {
+			w := workers
+			res := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					z := init.Clone()
+					b.StartTimer()
+					binauto.RunZStepParallel(m, ds, z, 0.5, binauto.ZAlternate, w)
+				}
+			})
+			ns := float64(res.T.Nanoseconds()) / float64(res.N)
+			if workers == 1 {
+				serialNs = ns
+			}
+			sp := SweepPoint{Workers: workers, NsPerOp: ns}
+			if serialNs > 0 {
+				sp.SpeedupVsSerial = serialNs / ns
+			}
+			rep.ZStepSweep = append(rep.ZStepSweep, sp)
+		}
+	}
+	return rep
+}
+
+// Write serialises the report to BENCH_<label>.json under dir and returns the
+// path.
+func (r *Report) Write(dir string) (string, error) {
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", r.Label))
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -47,6 +47,24 @@ func (c *Codes) SetBit(i, b int, v bool) {
 	}
 }
 
+// Word64 returns the first packed word of code i — the whole code when
+// L <= 64, which is every code this reproduction trains (the Z solver packs
+// a code into one uint64). Hot paths read it instead of L Bit calls.
+func (c *Codes) Word64(i int) uint64 { return c.Data[i*c.Words] }
+
+// SetWord64 replaces the first packed word of code i. The caller must not set
+// bits at or above L; for L <= 64 this writes the whole code in one store.
+func (c *Codes) SetWord64(i int, w uint64) { c.Data[i*c.Words] = w }
+
+// CopyCode copies code j of src into code i of c word by word. The code
+// lengths must match.
+func (c *Codes) CopyCode(i int, src *Codes, j int) {
+	if c.L != src.L {
+		panic(fmt.Sprintf("retrieval: CopyCode length mismatch %d vs %d", c.L, src.L))
+	}
+	copy(c.Code(i), src.Code(j))
+}
+
 // Clone returns a deep copy.
 func (c *Codes) Clone() *Codes {
 	out := NewCodes(c.N, c.L)

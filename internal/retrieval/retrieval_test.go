@@ -262,3 +262,40 @@ func BenchmarkTopKHamming(b *testing.B) {
 		TopKHamming(base, q, 100)
 	}
 }
+
+func TestWord64MatchesBits(t *testing.T) {
+	c := NewCodes(3, 40)
+	c.SetBit(0, 0, true)
+	c.SetBit(0, 39, true)
+	c.SetBit(2, 17, true)
+	for i := 0; i < 3; i++ {
+		var want uint64
+		for b := 0; b < 40; b++ {
+			if c.Bit(i, b) {
+				want |= 1 << uint(b)
+			}
+		}
+		if c.Word64(i) != want {
+			t.Fatalf("code %d: Word64 %x, bits say %x", i, c.Word64(i), want)
+		}
+	}
+	c.SetWord64(1, 0b1011)
+	for b, want := range []bool{true, true, false, true} {
+		if c.Bit(1, b) != want {
+			t.Fatalf("SetWord64 bit %d = %v, want %v", b, c.Bit(1, b), want)
+		}
+	}
+}
+
+func TestCopyCode(t *testing.T) {
+	src := NewCodes(2, 100) // two words per code
+	src.SetBit(1, 3, true)
+	src.SetBit(1, 99, true)
+	dst := NewCodes(4, 100)
+	dst.CopyCode(2, src, 1)
+	for b := 0; b < 100; b++ {
+		if dst.Bit(2, b) != src.Bit(1, b) {
+			t.Fatalf("bit %d not copied", b)
+		}
+	}
+}

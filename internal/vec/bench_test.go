@@ -1,0 +1,119 @@
+package vec
+
+import "testing"
+
+// Micro-benchmarks of the innermost Z-step kernels at the paper's feature
+// dimensions (SIFT D=128, GIST D=960). dotNaive is the pre-optimisation
+// reference — single accumulator, no bounds-check-elimination hint — kept
+// here so `go test -bench Dot ./internal/vec` shows the win directly.
+
+func benchVecs(n int) ([]float64, []float64) {
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = float64(i%7) * 0.25
+		b[i] = float64(i%5) * 0.5
+	}
+	return a, b
+}
+
+// dotNaive is Dot as it was before the 4-accumulator unroll and the
+// len-equality hint: the floating adds form one serial dependency chain and
+// every b[i] is bounds-checked.
+func dotNaive(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+func BenchmarkDotNaive128(bb *testing.B) {
+	a, b := benchVecs(128)
+	var s float64
+	for i := 0; i < bb.N; i++ {
+		s += dotNaive(a, b)
+	}
+	_ = s
+}
+
+func BenchmarkDot128(bb *testing.B) {
+	a, b := benchVecs(128)
+	var s float64
+	for i := 0; i < bb.N; i++ {
+		s += Dot(a, b)
+	}
+	_ = s
+}
+
+func BenchmarkDot960(bb *testing.B) {
+	a, b := benchVecs(960)
+	var s float64
+	for i := 0; i < bb.N; i++ {
+		s += Dot(a, b)
+	}
+	_ = s
+}
+
+func BenchmarkAxpy128(bb *testing.B) {
+	a, b := benchVecs(128)
+	for i := 0; i < bb.N; i++ {
+		Axpy(0.5, a, b)
+	}
+}
+
+func BenchmarkSqDist128(bb *testing.B) {
+	a, b := benchVecs(128)
+	var s float64
+	for i := 0; i < bb.N; i++ {
+		s += SqDist(a, b)
+	}
+	_ = s
+}
+
+func BenchmarkSqNorm128(bb *testing.B) {
+	a, _ := benchVecs(128)
+	var s float64
+	for i := 0; i < bb.N; i++ {
+		s += SqNorm(a)
+	}
+	_ = s
+}
+
+func BenchmarkMulVec32x128(bb *testing.B) {
+	m := NewMatrix(32, 128)
+	for i := range m.Data {
+		m.Data[i] = float64(i%9) * 0.1
+	}
+	x, _ := benchVecs(128)
+	dst := make([]float64, 32)
+	for i := 0; i < bb.N; i++ {
+		m.MulVec(x, dst)
+	}
+}
+
+func BenchmarkCholeskySolve32(bb *testing.B) {
+	const n = 32
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := 0.01 * float64((i*j)%11)
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+		a.Add(i, i, float64(n))
+	}
+	ch, err := NewCholesky(a)
+	if err != nil {
+		bb.Fatal(err)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i%3) - 1
+	}
+	dst := make([]float64, n)
+	bb.ResetTimer()
+	for i := 0; i < bb.N; i++ {
+		ch.Solve(b, dst)
+	}
+}

@@ -12,8 +12,9 @@ var ErrNotPD = errors.New("vec: matrix is not positive definite")
 // Cholesky holds the lower-triangular factor L of a symmetric positive
 // definite matrix A = L·Lᵀ and can solve linear systems A·x = b.
 type Cholesky struct {
-	n int
-	l *Matrix // lower triangular, including diagonal
+	n  int
+	l  *Matrix // lower triangular, including diagonal
+	lt *Matrix // Lᵀ: row i holds column i of L, so back-substitution reads rows
 }
 
 // NewCholesky factors the symmetric positive definite matrix a. Only the
@@ -41,7 +42,7 @@ func NewCholesky(a *Matrix) (*Cholesky, error) {
 			}
 		}
 	}
-	return &Cholesky{n: n, l: l}, nil
+	return &Cholesky{n: n, l: l, lt: l.Transpose()}, nil
 }
 
 // Solve computes x such that A·x = b, writing into dst (allocated when nil).
@@ -53,21 +54,16 @@ func (c *Cholesky) Solve(b, dst []float64) []float64 {
 	if dst == nil {
 		dst = make([]float64, c.n)
 	}
-	// Forward substitution: L·y = b.
+	// Forward substitution: L·y = b. Row i of L is contiguous, so the inner
+	// reduction is a Dot over slices instead of indexed At calls.
 	for i := 0; i < c.n; i++ {
-		sum := b[i]
-		for k := 0; k < i; k++ {
-			sum -= c.l.At(i, k) * dst[k]
-		}
-		dst[i] = sum / c.l.At(i, i)
+		row := c.l.Row(i)
+		dst[i] = (b[i] - Dot(row[:i], dst[:i])) / row[i]
 	}
-	// Back substitution: Lᵀ·x = y.
+	// Back substitution: Lᵀ·x = y, reading rows of the stored transpose.
 	for i := c.n - 1; i >= 0; i-- {
-		sum := dst[i]
-		for k := i + 1; k < c.n; k++ {
-			sum -= c.l.At(k, i) * dst[k]
-		}
-		dst[i] = sum / c.l.At(i, i)
+		row := c.lt.Row(i)
+		dst[i] = (dst[i] - Dot(row[i+1:], dst[i+1:])) / row[i]
 	}
 	return dst
 }

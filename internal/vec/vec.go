@@ -19,9 +19,20 @@ func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("vec: Dot length mismatch %d vs %d", len(a), len(b)))
 	}
-	var s float64
-	for i, v := range a {
-		s += v * b[i]
+	b = b[:len(a)] // proves len(b) == len(a): eliminates the b[i] bounds check
+	// Four accumulators break the serial add dependency chain; this is the
+	// innermost kernel of the Z step's W·(x−c) and h(x) products.
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; i < len(a); i++ {
+		s += a[i] * b[i]
 	}
 	return s
 }
@@ -31,6 +42,7 @@ func Axpy(alpha float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("vec: Axpy length mismatch %d vs %d", len(x), len(y)))
 	}
+	y = y[:len(x)] // proves len(y) == len(x): eliminates the y[i] bounds check
 	for i, v := range x {
 		y[i] += alpha * v
 	}
@@ -45,9 +57,17 @@ func Scale(alpha float64, x []float64) {
 
 // SqNorm returns the squared Euclidean norm of x.
 func SqNorm(x []float64) float64 {
-	var s float64
-	for _, v := range x {
-		s += v * v
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		s0 += x[i] * x[i]
+		s1 += x[i+1] * x[i+1]
+		s2 += x[i+2] * x[i+2]
+		s3 += x[i+3] * x[i+3]
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; i < len(x); i++ {
+		s += x[i] * x[i]
 	}
 	return s
 }
@@ -60,9 +80,22 @@ func SqDist(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("vec: SqDist length mismatch %d vs %d", len(a), len(b)))
 	}
-	var s float64
-	for i, v := range a {
-		d := v - b[i]
+	b = b[:len(a)] // proves len(b) == len(a): eliminates the b[i] bounds check
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
 		s += d * d
 	}
 	return s
@@ -128,6 +161,8 @@ func (m *Matrix) Fill(v float64) {
 }
 
 // MulVec computes dst = M·x. dst is allocated when nil; it must not alias x.
+// Rows are processed in pairs sharing the loads of x, with each row summed in
+// exactly Dot's order, so dst[i] is bitwise-identical to Dot(m.Row(i), x).
 func (m *Matrix) MulVec(x, dst []float64) []float64 {
 	if len(x) != m.Cols {
 		panic(fmt.Sprintf("vec: MulVec needs len(x)=%d, got %d", m.Cols, len(x)))
@@ -135,7 +170,32 @@ func (m *Matrix) MulVec(x, dst []float64) []float64 {
 	if dst == nil {
 		dst = make([]float64, m.Rows)
 	}
-	for i := 0; i < m.Rows; i++ {
+	i := 0
+	for ; i+2 <= m.Rows; i += 2 {
+		r0 := m.Row(i)[:len(x)]
+		r1 := m.Row(i + 1)[:len(x)]
+		var a0, a1, a2, a3, b0, b1, b2, b3 float64
+		j := 0
+		for ; j+4 <= len(x); j += 4 {
+			x0, x1, x2, x3 := x[j], x[j+1], x[j+2], x[j+3]
+			a0 += r0[j] * x0
+			a1 += r0[j+1] * x1
+			a2 += r0[j+2] * x2
+			a3 += r0[j+3] * x3
+			b0 += r1[j] * x0
+			b1 += r1[j+1] * x1
+			b2 += r1[j+2] * x2
+			b3 += r1[j+3] * x3
+		}
+		s0 := (a0 + a1) + (a2 + a3)
+		s1 := (b0 + b1) + (b2 + b3)
+		for ; j < len(x); j++ {
+			s0 += r0[j] * x[j]
+			s1 += r1[j] * x[j]
+		}
+		dst[i], dst[i+1] = s0, s1
+	}
+	if i < m.Rows {
 		dst[i] = Dot(m.Row(i), x)
 	}
 	return dst

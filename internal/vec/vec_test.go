@@ -337,3 +337,21 @@ func BenchmarkCholesky16(b *testing.B) {
 		}
 	}
 }
+
+func TestMulVecMatchesDotBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, shape := range []struct{ r, c int }{{1, 5}, {2, 8}, {7, 13}, {32, 128}, {33, 127}} {
+		m := NewMatrix(shape.r, shape.c)
+		m.FillGaussian(rng, 1)
+		x := make([]float64, shape.c)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := m.MulVec(x, nil)
+		for i := 0; i < shape.r; i++ {
+			if want := Dot(m.Row(i), x); got[i] != want {
+				t.Fatalf("%dx%d row %d: MulVec %v != Dot %v (must be bitwise equal)", shape.r, shape.c, i, got[i], want)
+			}
+		}
+	}
+}

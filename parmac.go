@@ -71,6 +71,11 @@ type BAOptions struct {
 	Shuffle  bool
 	Seed     int64
 
+	// Cores is the number of goroutines each machine uses for its Z step:
+	// 0 or 1 serial, < 0 every core (GOMAXPROCS). The codes are independent
+	// per point, so the trained model is bit-identical for any value.
+	Cores int
+
 	// ApproxZ forces the alternating-optimisation Z step instead of exact
 	// enumeration. The paper enumerates up to L=16 on its clusters; on one
 	// laptop core the alternating solver is the practical choice for L ≳ 12.
@@ -106,6 +111,7 @@ func TrainBinaryAutoencoder(ds *dataset.Dataset, opt BAOptions) *BAResult {
 	shards := dataset.ShuffledShardIndices(ds.N, opt.Machines, nil, opt.Seed)
 	prob := binauto.NewParMACProblem(ds, shards, binauto.ParMACConfig{
 		L: opt.Bits, Mu0: opt.Mu0, MuFactor: opt.MuFactor, ZMethod: zm, Seed: opt.Seed,
+		Parallel: opt.Cores,
 	})
 	eng := New(prob, Config{
 		P: opt.Machines, Epochs: opt.Epochs, Shuffle: opt.Shuffle, Seed: opt.Seed,
