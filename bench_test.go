@@ -174,6 +174,87 @@ func BenchmarkRunZStep(b *testing.B) {
 	}
 }
 
+// BenchmarkFitDecoder compares the dense exact decoder fit against the
+// popcount-Gram WKernel on the same codes (N=800, L=16, D=64).
+func BenchmarkFitDecoder(b *testing.B) {
+	ds := dataset.GISTLike(800, 64, 8, 14)
+	m := perf.RandomBA(64, 16, 14)
+	z := retrieval.NewCodes(ds.N, 16)
+	rng := rand.New(rand.NewSource(15))
+	for i := 0; i < z.N; i++ {
+		z.SetWord64(i, rng.Uint64()&0xFFFF)
+	}
+	b.Run("dense", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := m.FitDecoderExactDense(ds, z, 1e-4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("popcount", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := m.FitDecoderExactParallel(ds, z, 1e-4, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTrainWStep compares the serial per-bit W step against the fused
+// multi-bit trainer on byte-quantised SIFT-like data (N=500, L=8, D=64).
+func BenchmarkTrainWStep(b *testing.B) {
+	ds := dataset.SIFTLike(500, 64, 8, 16)
+	z := retrieval.NewCodes(ds.N, 8)
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < z.N; i++ {
+		z.SetWord64(i, rng.Uint64()&0xFF)
+	}
+	pristine := binauto.NewModel(64, 8, 1e-5)
+	cfg := &binauto.MACConfig{L: 8, SVMLambda: 1e-5, SVMEpochs: 2, DecLambda: 1e-4}
+	run := func(b *testing.B, step func(m *binauto.Model, rng *rand.Rand) error) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			m := pristine.Clone()
+			wrng := rand.New(rand.NewSource(18))
+			b.StartTimer()
+			if err := step(m, wrng); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("serial", func(b *testing.B) {
+		run(b, func(m *binauto.Model, rng *rand.Rand) error {
+			return binauto.TrainWStepSerial(m, ds, z, cfg, rng)
+		})
+	})
+	b.Run("fused", func(b *testing.B) {
+		run(b, func(m *binauto.Model, rng *rand.Rand) error {
+			return binauto.TrainWStepFused(m, ds, z, cfg, rng, 1)
+		})
+	})
+}
+
+// BenchmarkAllTopKHamming measures the batched query-parallel Hamming scan
+// (N=20000, Q=8, k=50) at worker counts 1 and 4.
+func BenchmarkAllTopKHamming(b *testing.B) {
+	base := retrieval.NewCodes(20000, 64)
+	queries := retrieval.NewCodes(8, 64)
+	rng := rand.New(rand.NewSource(19))
+	for i := 0; i < base.N; i++ {
+		base.SetWord64(i, rng.Uint64())
+	}
+	for i := 0; i < queries.N; i++ {
+		queries.SetWord64(i, rng.Uint64())
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				retrieval.AllTopKHamming(base, queries, 50, workers)
+			}
+		})
+	}
+}
+
 // BenchmarkEngineIteration measures one full ParMAC W+Z iteration (P=4,
 // L=8 BA on 800 points).
 func BenchmarkEngineIteration(b *testing.B) {

@@ -48,6 +48,12 @@ func main() {
 		for _, s := range rep.ZStepSweep {
 			fmt.Printf("RunZStep workers=%-2d %16.0f ns/op  speedup %.2fx\n", s.Workers, s.NsPerOp, s.SpeedupVsSerial)
 		}
+		for _, s := range rep.WStepSweep {
+			fmt.Printf("WStepFused workers=%-2d %14.0f ns/op  speedup %.2fx\n", s.Workers, s.NsPerOp, s.SpeedupVsSerial)
+		}
+		for _, s := range rep.RetrievalSweep {
+			fmt.Printf("AllTopKHamming workers=%-2d %10.0f ns/op  speedup %.2fx\n", s.Workers, s.NsPerOp, s.SpeedupVsSerial)
+		}
 		fmt.Printf("report written to %s\n", path)
 		return
 	}

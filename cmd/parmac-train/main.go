@@ -98,7 +98,9 @@ func main() {
 	}
 
 	ds, qs := buildDatasets(o)
-	truth := retrieval.GroundTruth(ds, qs, 50)
+	// -cores drives the evaluation scans too: ground truth, encoding and the
+	// Hamming retrieval are all query/point-parallel.
+	truth := retrieval.GroundTruthParallel(ds, qs, 50, o.cores)
 
 	var model *binauto.Model
 	if o.load != "" {
@@ -119,12 +121,9 @@ func main() {
 		}
 	}
 
-	base := model.Encode(ds)
-	qc := model.Encode(qs)
-	retr := make([][]int, qs.N)
-	for q := 0; q < qs.N; q++ {
-		retr[q] = retrieval.TopKHamming(base, qc.Code(q), 50)
-	}
+	base := model.EncodeParallel(ds, o.cores)
+	qc := model.EncodeParallel(qs, o.cores)
+	retr := retrieval.AllTopKHamming(base, qc, 50, o.cores)
 	fmt.Printf("retrieval precision (K=k=50): %.3f\n", retrieval.Precision(truth, retr))
 
 	if o.out != "" {

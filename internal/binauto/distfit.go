@@ -22,10 +22,13 @@ import (
 // distributed fit.
 
 // FitDecoderExactDistributed computes the exact ridge least-squares decoder
-// over all shards by distributed reduction: each shard contributes its local
-// Z̃ᵀZ̃ and Z̃ᵀX over the in-process fabric, rank 0 aggregates and solves, and
-// the result is returned together with the bytes moved.
-func FitDecoderExactDistributed(shards []*Shard, l, d int, lambda float64) (*Decoder, cluster.Stats, error) {
+// over all shards by distributed reduction: each shard assembles its local
+// Z̃ᵀZ̃ and Z̃ᵀX through the same popcount-Gram WKernel the serial fit uses
+// (workers goroutines per machine for the cross-products, core.Cores
+// semantics), AllReduce-sums them over the in-process fabric, and rank 0
+// solves via linreg.SolveNormal — the identical path, so distributed and
+// serial fits agree to summation rounding.
+func FitDecoderExactDistributed(shards []*Shard, l, d int, lambda float64, workers int) (*Decoder, cluster.Stats, error) {
 	p := len(shards)
 	if p == 0 {
 		panic("binauto: no shards")
@@ -37,35 +40,19 @@ func FitDecoderExactDistributed(shards []*Shard, l, d int, lambda float64) (*Dec
 	var wg sync.WaitGroup
 	var solved *Decoder
 	var solveErr error
+	totalPoints := 0
+	for _, sh := range shards {
+		totalPoints += sh.NumPoints()
+	}
 	for rank := 0; rank < p; rank++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
 			comm := net.Comm(rank)
 			sh := shards[rank]
-			// Local augmented statistics.
+			// Local augmented statistics in the shared wire layout.
 			local := make([]float64, gramLen+crossLen)
-			gram := local[:gramLen]
-			cross := local[gramLen:]
-			zt := make([]float64, l+1)
-			xbuf := make([]float64, d)
-			cp := CodesPoints{sh.Z}
-			for i := 0; i < sh.NumPoints(); i++ {
-				cp.Point(i, zt[:l])
-				zt[l] = 1
-				x := sh.X.Point(i, xbuf)
-				for a := 0; a <= l; a++ {
-					if zt[a] == 0 {
-						continue
-					}
-					for b := 0; b <= l; b++ {
-						gram[a*(l+1)+b] += zt[a] * zt[b]
-					}
-					for j := 0; j < d; j++ {
-						cross[a*d+j] += zt[a] * x[j]
-					}
-				}
-			}
+			NewWKernel(sh.Z).NormalStats(sh.X, d, workers, local)
 			total := comm.Reduce(0, 1, local, cluster.OpSum)
 			if rank != 0 {
 				return
@@ -73,18 +60,12 @@ func FitDecoderExactDistributed(shards []*Shard, l, d int, lambda float64) (*Dec
 			// Solve (Z̃ᵀZ̃ + λI)·W̃ = Z̃ᵀX at the root (ridge on every row
 			// including the bias, matching linreg.FitExact).
 			g := &vec.Matrix{Rows: l + 1, Cols: l + 1, Data: total[:gramLen]}
-			g.AddScaledIdentity(lambda)
-			ch, err := vec.NewCholesky(g)
-			if err != nil {
-				g.AddScaledIdentity(1e-8 * float64(g.At(l, l))) // N is at (l,l)
-				ch, err = vec.NewCholesky(g)
-				if err != nil {
-					solveErr = err
-					return
-				}
-			}
 			rhs := &vec.Matrix{Rows: l + 1, Cols: d, Data: total[gramLen:]}
-			sol := ch.SolveMatrix(rhs)
+			sol, err := linreg.SolveNormal(g, rhs, lambda, totalPoints)
+			if err != nil {
+				solveErr = err
+				return
+			}
 			dec := NewDecoder(l, d)
 			for row := 0; row < l; row++ {
 				copy(dec.W.Row(row), sol.Row(row))

@@ -28,7 +28,9 @@ func makeShards(n, d, l, p int, seed int64) []*Shard {
 func TestDistributedFitMatchesSerialOracle(t *testing.T) {
 	for _, p := range []int{1, 2, 5} {
 		shards := makeShards(200, 6, 4, p, int64(p)*100)
-		dist, stats, err := FitDecoderExactDistributed(shards, 4, 6, 0.1)
+		// Vary the per-machine cross-product pool with the shard count to
+		// cover both serial and chunked accumulation.
+		dist, stats, err := FitDecoderExactDistributed(shards, 4, 6, 0.1, p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -55,7 +57,7 @@ func TestDistributedFitCommunicationCost(t *testing.T) {
 	// far larger than the submodels ParMAC circulates.
 	l, d := 8, 16
 	shards := makeShards(300, d, l, 4, 7)
-	_, stats, err := FitDecoderExactDistributed(shards, l, d, 0)
+	_, stats, err := FitDecoderExactDistributed(shards, l, d, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +72,7 @@ func TestDistributedFitImprovesReconstruction(t *testing.T) {
 	// Plugging the exact decoder into a model must give the optimal
 	// reconstruction for the current codes: no perturbation improves it.
 	shards := makeShards(150, 5, 4, 3, 9)
-	dec, _, err := FitDecoderExactDistributed(shards, 4, 5, 0)
+	dec, _, err := FitDecoderExactDistributed(shards, 4, 5, 0, -1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,6 +3,7 @@ package binauto
 import (
 	"math/rand"
 
+	"repro/internal/core"
 	"repro/internal/pca"
 	"repro/internal/retrieval"
 	"repro/internal/sgd"
@@ -28,6 +29,14 @@ type MACConfig struct {
 	ZMethod ZMethod
 	Seed    int64
 	Shuffle bool // shuffle sample order in the SVM SGD passes
+
+	// Parallel is the number of goroutines each step of RunMAC uses: the
+	// fused W step fans bit groups and the decoder normal equations over it,
+	// the Z step chunks the shard scan, and validation scoring pools its
+	// encode and retrieval scans (unless Validation.Parallel overrides). 0
+	// or 1 runs serially, < 0 uses every core. With Shuffle false the
+	// trained model is bit-identical for any value.
+	Parallel int
 
 	// Optional validation-based early stopping (§3.1: "we stop iterating for
 	// a μ value ... when the precision of the hash function in a validation
@@ -80,29 +89,39 @@ type Validation struct {
 	// UseRecall switches the score to recall@K with Truth[q][0] as the true
 	// nearest neighbour (the SIFT-1B protocol, §8.4).
 	UseRecall bool
+
+	// Parallel is the goroutine pool for scoring — base/query encoding and
+	// the Hamming scans. 0 inherits the MACConfig.Parallel of the RunMAC
+	// call (or runs serially when used standalone); otherwise core.Cores
+	// semantics. Scores are identical for any value.
+	Parallel int
 }
 
 // Score computes the configured retrieval quality of the model's hash.
 func (v *Validation) Score(m *Model) float64 {
-	base := m.Encode(v.Base)
-	qc := m.Encode(v.Queries)
+	return v.score(m, core.Cores(v.Parallel))
+}
+
+// score is Score with an explicit resolved worker count.
+func (v *Validation) score(m *Model, workers int) float64 {
+	base := m.EncodeParallel(v.Base, workers)
+	qc := m.EncodeParallel(v.Queries, workers)
 	if v.UseRecall {
 		trueNN := make([]int, len(v.Truth))
 		for q := range v.Truth {
 			trueNN[q] = v.Truth[q][0]
 		}
-		return retrieval.RecallAtR(base, qc, trueNN, []int{v.K})[0]
+		return retrieval.RecallAtRParallel(base, qc, trueNN, []int{v.K}, workers)[0]
 	}
-	retr := make([][]int, qc.N)
-	for q := 0; q < qc.N; q++ {
-		retr[q] = retrieval.TopKHamming(base, qc.Code(q), v.K)
-	}
-	return retrieval.Precision(v.Truth, retr)
+	return retrieval.Precision(v.Truth, retrieval.AllTopKHamming(base, qc, v.K, workers))
 }
 
 // TrainWStepSerial performs the serial W step of Fig. 1 on (pts, z): each of
 // the L per-bit SVMs is auto-tuned and trained for cfg.SVMEpochs SGD passes,
-// and the decoder is replaced by the exact least-squares fit.
+// and the decoder is replaced by the exact least-squares fit. This is the
+// reference implementation — L+1 full passes over the data per epoch round,
+// dense decoder normal equations — kept bit-for-bit as the oracle and
+// baseline for TrainWStepFused, which RunMAC uses.
 func TrainWStepSerial(m *Model, pts sgd.Points, z *retrieval.Codes, cfg *MACConfig, rng *rand.Rand) error {
 	n := pts.NumPoints()
 	buf := make([]float64, m.D())
@@ -114,7 +133,7 @@ func TrainWStepSerial(m *Model, pts sgd.Points, z *retrieval.Codes, cfg *MACConf
 			e.TrainPass(pts, label, sgd.Order(n, cfg.Shuffle, rng), buf)
 		}
 	}
-	return m.FitDecoderExact(pts, z, cfg.DecLambda)
+	return m.FitDecoderExactDense(pts, z, cfg.DecLambda)
 }
 
 // bitLabel returns the ±1 label view of bit l of z.
@@ -132,10 +151,20 @@ func bitLabel(z *retrieval.Codes, l int) func(i int) float64 {
 // follows the paper: stop early when the Z step changes nothing and
 // Z = h(X) (the constraints are satisfied, so the finite-μ fixed point has
 // been reached), or when validation precision drops below its best value.
+//
+// The W step runs fused (TrainWStepFused) and the Z step reports the
+// Z = h(X) check it computes anyway (ZKernel.RunStats), so one iteration
+// makes SVMEpochs+calibration passes over the data instead of per-bit ones
+// and never re-encodes the dataset just for the stopping test. With
+// cfg.Shuffle false the encoders are bit-for-bit the historical serial loop
+// and the decoder fit matches it to summation rounding (bitwise when N fits
+// one accumulation chunk — see crossChunk); with Shuffle set, the fused W
+// step shares one permutation per epoch across bits (see TrainWStepFused).
 func RunMAC(pts sgd.Points, cfg MACConfig) (*Model, *retrieval.Codes, []IterStats) {
 	cfg.fillDefaults()
 	d := len(pts.Point(0, nil))
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	workers := core.Cores(cfg.Parallel)
 
 	var z *retrieval.Codes
 	if cfg.InitZ != nil {
@@ -149,19 +178,24 @@ func RunMAC(pts sgd.Points, cfg MACConfig) (*Model, *retrieval.Codes, []IterStat
 	bestScore := -1.0
 	mu := cfg.Mu0
 	for it := 0; it < cfg.Iters; it++ {
-		if err := TrainWStepSerial(m, pts, z, &cfg, rng); err != nil {
+		if err := TrainWStepFused(m, pts, z, &cfg, rng, workers); err != nil {
 			panic("binauto: decoder fit failed: " + err.Error())
 		}
-		changed := RunZStep(m, pts, z, mu, cfg.ZMethod)
+		zres := NewZKernel(m, mu, cfg.ZMethod).RunStats(pts, z, workers)
 
-		st := IterStats{Iter: it, Mu: mu, ZChanged: changed}
+		st := IterStats{Iter: it, Mu: mu, ZChanged: zres.Changed}
 		st.EQ = m.EQ(pts, z, mu)
 		st.EBA = m.EBA(pts)
 		if cfg.Validation != nil {
-			st.Precision = cfg.Validation.Score(m)
+			vw := workers
+			if cfg.Validation.Parallel != 0 {
+				vw = core.Cores(cfg.Validation.Parallel)
+			}
+			st.Precision = cfg.Validation.score(m, vw)
 		}
-		// Stop when Z is a fixed point and satisfies the constraints.
-		if changed == 0 && codesEqualHash(m, pts, z) {
+		// Stop when Z is a fixed point and satisfies the constraints (the
+		// Z step just verified z == h(X) point by point, so no re-encode).
+		if zres.Changed == 0 && zres.HashEqual {
 			st.Stopped = true
 			stats = append(stats, st)
 			break
@@ -185,6 +219,8 @@ func RunMAC(pts sgd.Points, cfg MACConfig) (*Model, *retrieval.Codes, []IterStat
 
 // codesEqualHash reports whether z equals h(X) everywhere — one packed-word
 // compare per point (L <= 64 is guaranteed by the Z step that ran before).
+// RunMAC no longer calls it (ZStepResult.HashEqual folds the check into the
+// Z step); it remains the independent oracle the fold is tested against.
 func codesEqualHash(m *Model, pts sgd.Points, z *retrieval.Codes) bool {
 	buf := make([]float64, m.D())
 	for i := 0; i < pts.NumPoints(); i++ {

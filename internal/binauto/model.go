@@ -14,6 +14,7 @@ import (
 	"math/bits"
 	"math/rand"
 
+	"repro/internal/core"
 	"repro/internal/linreg"
 	"repro/internal/retrieval"
 	"repro/internal/sgd"
@@ -146,6 +147,35 @@ func (m *Model) Encode(pts sgd.Points) *retrieval.Codes {
 	return codes
 }
 
+// EncodeParallel is Encode with the point loop chunked over workers
+// goroutines (0/1 serial, < 0 every core). Points hash independently, so the
+// codes are bit-identical to Encode for any worker count. This is the
+// encoding path of Validation.Score, where hashing the base set is the
+// largest single cost at large N.
+func (m *Model) EncodeParallel(pts sgd.Points, workers int) *retrieval.Codes {
+	n := pts.NumPoints()
+	workers = core.ClampWorkers(n, core.Cores(workers))
+	if workers <= 1 {
+		return m.Encode(pts)
+	}
+	codes := retrieval.NewCodes(n, m.L())
+	packed := m.L() <= 64
+	core.ParallelChunks(n, workers, func(_, lo, hi int) {
+		buf := make([]float64, m.D())
+		for i := lo; i < hi; i++ {
+			x := pts.Point(i, buf)
+			if packed {
+				codes.SetWord64(i, m.EncodePointWord(x))
+				continue
+			}
+			for l := range m.Enc {
+				codes.SetBit(i, l, m.Enc[l].Predict(x))
+			}
+		}
+	})
+	return codes
+}
+
 // EBA computes the nested binary-autoencoder error of eq. (1):
 // Σ_n ‖x_n − f(h(x_n))‖².
 func (m *Model) EBA(pts sgd.Points) float64 {
@@ -231,8 +261,35 @@ func (c CodesPoints) Point(i int, dst []float64) []float64 {
 }
 
 // FitDecoderExact replaces the decoder with the exact least-squares fit of
-// (Z, X), the serial W step of Fig. 1 ("f ← least-squares fit to (Z,X)").
+// (Z, X), the serial W step of Fig. 1 ("f ← least-squares fit to (Z,X)"). It
+// runs the popcount-Gram WKernel serially; see FitDecoderExactParallel for
+// the pooled version and FitDecoderExactDense for the dense reference.
 func (m *Model) FitDecoderExact(pts sgd.Points, z *retrieval.Codes, lambda float64) error {
+	return m.FitDecoderExactParallel(pts, z, lambda, 1)
+}
+
+// FitDecoderExactParallel is FitDecoderExact through the popcount-Gram
+// WKernel, with up to workers goroutines (0/1 serial, < 0 every core) for
+// the cross-product accumulation. The accumulation granule is fixed (see
+// crossChunk), so the fitted decoder is bit-for-bit identical for every
+// worker count; against the dense reference it is bitwise equal for
+// N ≤ crossChunk and within summation rounding (≪ 1e-9 at benchmark
+// scales) beyond.
+func (m *Model) FitDecoderExactParallel(pts sgd.Points, z *retrieval.Codes, lambda float64, workers int) error {
+	dec, err := NewWKernel(z).FitDecoder(pts, m.D(), lambda, workers)
+	if err != nil {
+		return err
+	}
+	m.Dec = dec
+	return nil
+}
+
+// FitDecoderExactDense is the pre-WKernel reference implementation of the
+// exact decoder fit: materialise Z as a 0/1 float matrix and X as a dense
+// matrix, then solve via linreg.FitExact. Kept as the parity oracle for the
+// popcount-Gram kernel and as the baseline the perf harness measures the
+// kernel against.
+func (m *Model) FitDecoderExactDense(pts sgd.Points, z *retrieval.Codes, lambda float64) error {
 	n := pts.NumPoints()
 	zm := vec.NewMatrix(n, m.L())
 	cp := CodesPoints{z}

@@ -330,7 +330,8 @@ func (e *encoderSub) TrainOn(shard core.Shard, order []int) {
 	if cap(e.buf) < len(e.svm.W) {
 		e.buf = make([]float64, len(e.svm.W))
 	}
-	e.svm.TrainPass(sh.X, label, order, e.buf[:len(e.svm.W)])
+	// Fused step: bit-for-bit TrainPass with one fewer walk over the weights.
+	e.svm.TrainPassFused(sh.X, label, order, e.buf[:len(e.svm.W)])
 }
 
 // Clone implements core.Submodel.

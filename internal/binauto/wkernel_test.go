@@ -1,0 +1,143 @@
+package binauto
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/retrieval"
+	"repro/internal/vec"
+)
+
+// randomCodesW builds n random l-bit codes.
+func randomCodesW(n, l int, seed int64) *retrieval.Codes {
+	rng := rand.New(rand.NewSource(seed))
+	z := retrieval.NewCodes(n, l)
+	for i := 0; i < n; i++ {
+		for b := 0; b < l; b++ {
+			z.SetBit(i, b, rng.Intn(2) == 1)
+		}
+	}
+	return z
+}
+
+// floatGramOracle accumulates the bias-augmented Gram matrix Z̃ᵀZ̃ the dense
+// path computes: materialise the 0/1 features and multiply.
+func floatGramOracle(z *retrieval.Codes) *vec.Matrix {
+	xt := vec.NewMatrix(z.N, z.L+1)
+	cp := CodesPoints{z}
+	for i := 0; i < z.N; i++ {
+		cp.Point(i, xt.Row(i)[:z.L])
+		xt.Set(i, z.L, 1)
+	}
+	return xt.Gram()
+}
+
+// TestPopcountGramMatchesFloatGram: the popcount Gram must equal the float
+// accumulation exactly — both sides are integer counts, so not even a ULP of
+// slack is allowed.
+func TestPopcountGramMatchesFloatGram(t *testing.T) {
+	for _, tc := range []struct {
+		n, l int
+	}{{1, 3}, {63, 8}, {64, 8}, {65, 8}, {500, 16}, {300, 33}, {200, 64}} {
+		z := randomCodesW(tc.n, tc.l, int64(tc.n*100+tc.l))
+		got := NewWKernel(z).Gram()
+		want := floatGramOracle(z)
+		if d := vec.MaxAbsDiff(got, want); d != 0 {
+			t.Fatalf("N=%d L=%d: popcount Gram differs from float Gram by %g", tc.n, tc.l, d)
+		}
+	}
+}
+
+// TestFitDecoderPopcountMatchesDense: for N within one accumulation chunk
+// the kernel fit must be bit-for-bit the dense reference for EVERY worker
+// count (same integers into the same solve path, fixed summation order).
+func TestFitDecoderPopcountMatchesDense(t *testing.T) {
+	for _, byteBacked := range []bool{false, true} {
+		ds := dataset.GISTLike(400, 24, 4, 31)
+		if byteBacked {
+			ds = dataset.SIFTLike(400, 24, 4, 31)
+		}
+		z := randomCodesW(400, 12, 32)
+		ref := NewModel(24, 12, 1e-5)
+		if err := ref.FitDecoderExactDense(ds, z, 1e-3); err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 3, 8, -1} {
+			par := NewModel(24, 12, 1e-5)
+			if err := par.FitDecoderExactParallel(ds, z, 1e-3, workers); err != nil {
+				t.Fatal(err)
+			}
+			if d := vec.MaxAbsDiff(par.Dec.W, ref.Dec.W); d != 0 {
+				t.Fatalf("byteBacked=%v workers=%d: popcount fit not bitwise equal to dense (|Δ|=%g)", byteBacked, workers, d)
+			}
+			for j := range par.Dec.C {
+				if par.Dec.C[j] != ref.Dec.C[j] {
+					t.Fatalf("byteBacked=%v workers=%d: bias %d differs bitwise", byteBacked, workers, j)
+				}
+			}
+		}
+	}
+}
+
+// TestFitDecoderChunkedLargeN: beyond one chunk the summation order differs
+// from the straight dense walk, so the fits agree to 1e-9 — but across
+// worker counts the chunk grid is fixed, so they agree bit for bit.
+func TestFitDecoderChunkedLargeN(t *testing.T) {
+	n := crossChunk + 500
+	ds := dataset.GISTLike(n, 16, 4, 33)
+	z := randomCodesW(n, 10, 34)
+	dense := NewModel(16, 10, 1e-5)
+	if err := dense.FitDecoderExactDense(ds, z, 1e-3); err != nil {
+		t.Fatal(err)
+	}
+	ref := NewModel(16, 10, 1e-5)
+	if err := ref.FitDecoderExactParallel(ds, z, 1e-3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if d := vec.MaxAbsDiff(ref.Dec.W, dense.Dec.W); d > 1e-9 {
+		t.Fatalf("chunked fit drifted from dense by %g > 1e-9", d)
+	}
+	for _, workers := range []int{2, 5, -1} {
+		par := NewModel(16, 10, 1e-5)
+		if err := par.FitDecoderExactParallel(ds, z, 1e-3, workers); err != nil {
+			t.Fatal(err)
+		}
+		if d := vec.MaxAbsDiff(par.Dec.W, ref.Dec.W); d != 0 {
+			t.Fatalf("workers=%d: fit depends on worker count (|Δ|=%g)", workers, d)
+		}
+	}
+}
+
+// TestWKernelColumnsRoundTrip pins the transpose: bit i of column l must be
+// Bit(i, l), including across the 64-point word boundary.
+func TestWKernelColumnsRoundTrip(t *testing.T) {
+	z := randomCodesW(130, 10, 7)
+	cols := z.Columns()
+	for l := 0; l < z.L; l++ {
+		for i := 0; i < z.N; i++ {
+			got := cols[l][i/64]&(1<<(uint(i)%64)) != 0
+			if got != z.Bit(i, l) {
+				t.Fatalf("column %d bit %d: transpose %v, codes %v", l, i, got, z.Bit(i, l))
+			}
+		}
+	}
+}
+
+// TestFitDecoderExactDelegates: the public FitDecoderExact must be the
+// serial kernel path (and therefore the dense result, bit for bit).
+func TestFitDecoderExactDelegates(t *testing.T) {
+	ds := dataset.GISTLike(150, 10, 3, 41)
+	z := randomCodesW(150, 6, 42)
+	a := NewModel(10, 6, 1e-5)
+	if err := a.FitDecoderExact(ds, z, 1e-3); err != nil {
+		t.Fatal(err)
+	}
+	b := NewModel(10, 6, 1e-5)
+	if err := b.FitDecoderExactDense(ds, z, 1e-3); err != nil {
+		t.Fatal(err)
+	}
+	if d := vec.MaxAbsDiff(a.Dec.W, b.Dec.W); d != 0 {
+		t.Fatalf("FitDecoderExact drifted from the dense reference (|Δ|=%g)", d)
+	}
+}

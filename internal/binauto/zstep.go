@@ -138,42 +138,63 @@ func (k *ZKernel) NewSolver() *ZSolver {
 	}
 }
 
+// ZStepResult is what a full Z-step run learns while touching every point.
+type ZStepResult struct {
+	// Changed counts codes changed by the step.
+	Changed int
+	// HashEqual reports whether, after the step, z_i == h(x_i) for every
+	// point — the constraint half of MAC's stopping criterion. The solver
+	// computes h(x_i) for every solve anyway, so folding the comparison here
+	// saves RunMAC a full re-encode of the dataset per iteration.
+	HashEqual bool
+}
+
 // Run solves every point of pts with up to workers goroutines (one solver
 // each) and returns how many codes changed. Points are independent, so the
 // result is bit-identical to a serial pass regardless of workers.
 func (k *ZKernel) Run(pts sgd.Points, z *retrieval.Codes, workers int) int {
+	return k.RunStats(pts, z, workers).Changed
+}
+
+// RunStats is Run with the folded z == h(X) check included in the result.
+func (k *ZKernel) RunStats(pts sgd.Points, z *retrieval.Codes, workers int) ZStepResult {
 	n := pts.NumPoints()
-	if workers <= 1 || n < core.MinParallelPoints {
-		s := k.NewSolver()
-		buf := make([]float64, k.Model.D())
-		changed := 0
-		for i := 0; i < n; i++ {
-			if s.Solve(pts.Point(i, buf), z, i) {
-				changed++
-			}
-		}
-		return changed
+	workers = core.ClampWorkers(n, workers)
+	if workers <= 1 {
+		return k.runChunk(pts, z, 0, n)
 	}
-	if workers > n/(core.MinParallelPoints/2) {
-		workers = n / (core.MinParallelPoints / 2)
+	parts := make([]ZStepResult, workers)
+	for w := range parts {
+		// ParallelChunks may run fewer chunks than workers; entries that get
+		// no chunk must not veto the AND-fold below.
+		parts[w].HashEqual = true
 	}
-	counts := make([]int, workers)
 	core.ParallelChunks(n, workers, func(w, lo, hi int) {
-		s := k.NewSolver()
-		buf := make([]float64, k.Model.D())
-		changed := 0
-		for i := lo; i < hi; i++ {
-			if s.Solve(pts.Point(i, buf), z, i) {
-				changed++
-			}
-		}
-		counts[w] = changed
+		parts[w] = k.runChunk(pts, z, lo, hi)
 	})
-	total := 0
-	for _, c := range counts {
-		total += c
+	total := ZStepResult{HashEqual: true}
+	for _, p := range parts {
+		total.Changed += p.Changed
+		total.HashEqual = total.HashEqual && p.HashEqual
 	}
 	return total
+}
+
+// runChunk solves points [lo, hi) with one solver, tallying changes and the
+// code-equals-hash flag.
+func (k *ZKernel) runChunk(pts sgd.Points, z *retrieval.Codes, lo, hi int) ZStepResult {
+	s := k.NewSolver()
+	buf := make([]float64, k.Model.D())
+	res := ZStepResult{HashEqual: true}
+	for i := lo; i < hi; i++ {
+		if s.Solve(pts.Point(i, buf), z, i) {
+			res.Changed++
+		}
+		if z.Word64(i) != s.HashWord() {
+			res.HashEqual = false
+		}
+	}
+	return res
 }
 
 // ZSolver solves the Z step for a fixed model and μ, carrying per-goroutine
@@ -235,6 +256,12 @@ func (s *ZSolver) encodeWord(x []float64) uint64 {
 // recent Solve, as accumulated incrementally through the Gram identities —
 // the quantity the property tests check against PointObjective.
 func (s *ZSolver) LastObjective() float64 { return s.lastObj }
+
+// HashWord returns h(x) of the most recent Solve as a packed word — bitwise
+// the model's EncodePointWord of that point. The Z-step runners compare it
+// against the stored code to fold MAC's z == h(X) stopping check into the
+// pass that already computed it.
+func (s *ZSolver) HashWord() uint64 { return s.hw }
 
 // begin loads the point into scratch: xmc = x − c, t = q = W·(x−c) (the only
 // O(L·D) work of a solve), and returns ‖x−c‖², the error at z = 0.

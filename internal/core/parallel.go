@@ -31,6 +31,22 @@ func Cores(p int) int {
 	}
 }
 
+// ClampWorkers resolves a worker count for a per-point loop over n items:
+// serial (1) when workers <= 1 or the loop is too small to amortise goroutine
+// startup, otherwise bounded so every worker gets at least
+// MinParallelPoints/2 items. This is the sizing rule the Z step has always
+// used, shared so the W-step and retrieval pools degrade to serial on tiny
+// inputs the same way.
+func ClampWorkers(n, workers int) int {
+	if workers <= 1 || n < MinParallelPoints {
+		return 1
+	}
+	if max := n / (MinParallelPoints / 2); workers > max {
+		workers = max
+	}
+	return workers
+}
+
 // ParallelChunks splits [0, n) into at most workers contiguous chunks and
 // runs fn(worker, lo, hi) on each from its own goroutine, returning when all
 // chunks are done. fn receives a dense worker index in [0, workers) for

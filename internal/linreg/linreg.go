@@ -103,6 +103,29 @@ type MultiOutput struct {
 	C []float64   // dOut
 }
 
+// SolveNormal solves the ridge normal equations (G + λI)·W̃ = R for W̃, where
+// G is the (dIn+1)×(dIn+1) bias-augmented Gram matrix X̃ᵀX̃ and R = X̃ᵀY.
+// lambda is added to every diagonal entry (bias included, matching FitExact);
+// a singular system is retried once with a 1e-8·n jitter, n being the row
+// count G was accumulated over. G is clobbered by the factorisation.
+//
+// It is factored out of FitExact so callers that assemble G and R by other
+// means — the popcount-Gram W kernel of internal/binauto, the AllReduce-
+// aggregated statistics of the distributed fit — go through the exact same
+// solve path, rounding for rounding.
+func SolveNormal(gram, rhs *vec.Matrix, lambda float64, n int) (*vec.Matrix, error) {
+	gram.AddScaledIdentity(lambda)
+	ch, err := vec.NewCholesky(gram)
+	if err != nil {
+		gram.AddScaledIdentity(1e-8 * float64(n))
+		ch, err = vec.NewCholesky(gram)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ch.SolveMatrix(rhs), nil
+}
+
 // FitExact solves the (ridge) least-squares problem mapping the rows of x to
 // the rows of y. lambda > 0 guards against rank deficiency; lambda == 0 uses
 // a tiny jitter retry if the Gram matrix is singular.
@@ -118,17 +141,11 @@ func FitExact(x, y *vec.Matrix, lambda float64) (*MultiOutput, error) {
 		xt.Set(i, dIn, 1)
 	}
 	gram := xt.Gram()
-	gram.AddScaledIdentity(lambda)
-	ch, err := vec.NewCholesky(gram)
-	if err != nil {
-		gram.AddScaledIdentity(1e-8 * float64(n))
-		ch, err = vec.NewCholesky(gram)
-		if err != nil {
-			return nil, err
-		}
-	}
 	xty := vec.TMul(xt, y) // (dIn+1)×dOut
-	sol := ch.SolveMatrix(xty)
+	sol, err := SolveNormal(gram, xty, lambda, n)
+	if err != nil {
+		return nil, err
+	}
 	w := vec.NewMatrix(dIn, dOut)
 	for i := 0; i < dIn; i++ {
 		copy(w.Row(i), sol.Row(i))

@@ -13,6 +13,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/core"
 	"repro/internal/sgd"
 	"repro/internal/vec"
 )
@@ -332,6 +333,13 @@ type MACConfig struct {
 	ZIters   int     // gradient iterations per point per Z step
 	Seed     int64
 	Shuffle  bool
+
+	// Parallel is the goroutine count RunMAC uses for the W step (units are
+	// independent single-unit regressions, fanned out in groups) and the Z
+	// step (points are independent proximal problems): 0 or 1 serial, < 0
+	// every core. Units and points share no mutable state, so the trained
+	// net is bit-identical for any value.
+	Parallel int
 }
 
 // IterStats is one MAC iteration's learning-curve row.
@@ -367,21 +375,24 @@ func RunMAC(n *Net, xs, ys *vec.Matrix, cfg MACConfig) []IterStats {
 		panic("macnet: RunMAC needs at least one hidden layer")
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	workers := core.Cores(cfg.Parallel)
 	coords := NewCoordsFromForward(n, xs)
 	var stats []IterStats
 	mu := cfg.Mu0
 	for it := 0; it < cfg.Iters; it++ {
 		// W step: every unit independently (hidden units fit the coordinates,
-		// output units fit the targets).
+		// output units fit the targets), fanned out over unit groups.
 		for ep := 0; ep < cfg.WEpochs; ep++ {
 			order := sgd.Order(xs.Rows, cfg.Shuffle, rng)
-			TrainUnitsPass(n, xs, coords, order, cfg.Eta)
-			TrainOutputPass(n, ys, coords, order, cfg.Eta)
+			TrainUnitsPassParallel(n, xs, coords, order, cfg.Eta, workers)
+			TrainOutputPassParallel(n, ys, coords, order, cfg.Eta, workers)
 		}
-		// Z step: every point independently.
-		for i := 0; i < xs.Rows; i++ {
-			ZStepPoint(n, xs.Row(i), ys.Row(i), coords, i, mu, cfg.ZIters)
-		}
+		// Z step: every point independently, chunked over the pool.
+		core.ParallelChunks(xs.Rows, core.ClampWorkers(xs.Rows, workers), func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				ZStepPoint(n, xs.Row(i), ys.Row(i), coords, i, mu, cfg.ZIters)
+			}
+		})
 		stats = append(stats, IterStats{
 			Iter: it, Mu: mu,
 			EQ:     PenaltyError(n, xs, ys, coords, mu),
@@ -415,6 +426,46 @@ func TrainUnitsPass(n *Net, xs *vec.Matrix, c *Coords, order []int, eta float64)
 			n.UnitSGDStep(u, in, target, eta)
 		}
 	}
+}
+
+// TrainUnitsPassParallel is TrainUnitsPass with the hidden units split into
+// contiguous groups over workers goroutines. A unit's pass touches only its
+// own weight row and reads xs/coords, which the W step never mutates, so the
+// result is bit-identical to the serial pass for any worker count.
+func TrainUnitsPassParallel(n *Net, xs *vec.Matrix, c *Coords, order []int, eta float64, workers int) {
+	k := n.K()
+	var hidden []UnitRef
+	for _, u := range n.Units() {
+		if u.Layer < k {
+			hidden = append(hidden, u)
+		}
+	}
+	core.ParallelChunks(len(hidden), workers, func(_, lo, hi int) {
+		for _, u := range hidden[lo:hi] {
+			for _, i := range order {
+				in := xs.Row(i)
+				if u.Layer > 0 {
+					in = c.Z[u.Layer-1].Row(i)
+				}
+				n.UnitSGDStep(u, in, c.Z[u.Layer].At(i, u.Unit), eta)
+			}
+		}
+	})
+}
+
+// TrainOutputPassParallel is TrainOutputPass with the output units split
+// over workers goroutines; bit-identical to the serial pass for any count.
+func TrainOutputPassParallel(n *Net, ys *vec.Matrix, c *Coords, order []int, eta float64, workers int) {
+	k := n.K()
+	w := n.Ws[k]
+	core.ParallelChunks(w.Rows, workers, func(_, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			u := UnitRef{k, j}
+			for _, i := range order {
+				n.UnitSGDStep(u, c.Z[k-1].Row(i), ys.At(i, j), eta)
+			}
+		}
+	})
 }
 
 // TrainOutputPass runs one SGD pass of the output-layer units against ys.

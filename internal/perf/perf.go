@@ -51,6 +51,11 @@ type Report struct {
 	Quick      bool         `json:"quick"`
 	Benchmarks []Result     `json:"benchmarks"`
 	ZStepSweep []SweepPoint `json:"zstep_sweep"`
+	// WStepSweep scales the fused multi-bit W step (bit groups + pooled
+	// decoder normal equations) over worker counts; RetrievalSweep scales
+	// the batched Hamming top-k scan over query workers.
+	WStepSweep     []SweepPoint `json:"wstep_sweep"`
+	RetrievalSweep []SweepPoint `json:"retrieval_sweep"`
 }
 
 func record(name string, r testing.BenchmarkResult) Result {
@@ -198,6 +203,135 @@ func Collect(label string, quick bool) *Report {
 					retrieval.TopKHamming(base, query, 50)
 				}
 			})))
+	}
+
+	// W step: exact decoder fit, dense reference vs popcount-Gram WKernel.
+	{
+		n, l := 4000, 32
+		if quick {
+			n = 800
+		}
+		ds := dataset.GISTLike(n, 128, 8, 14)
+		m := RandomBA(128, l, 14)
+		z := retrieval.NewCodes(n, l)
+		rng := rand.New(rand.NewSource(15))
+		for i := 0; i < n; i++ {
+			z.SetWord64(i, rng.Uint64()&((1<<uint(l))-1))
+		}
+		rep.Benchmarks = append(rep.Benchmarks, record(
+			fmt.Sprintf("FitDecoderDense/N=%d,L=%d,D=128", n, l),
+			testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if err := m.FitDecoderExactDense(ds, z, 1e-4); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})))
+		rep.Benchmarks = append(rep.Benchmarks, record(
+			fmt.Sprintf("FitDecoderPopcount/N=%d,L=%d,D=128", n, l),
+			testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if err := m.FitDecoderExactParallel(ds, z, 1e-4, 1); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})))
+	}
+
+	// Full W step (auto-tune + SVM passes + decoder fit) on byte-quantised
+	// SIFT-like data: the serial per-bit reference vs the fused multi-bit
+	// trainer, then the fused trainer's core sweep. Each op starts from a
+	// pristine model clone so every measurement does identical work.
+	{
+		n, l := 2000, 16
+		if quick {
+			n, l = 500, 8
+		}
+		ds := dataset.SIFTLike(n, 128, 8, 16)
+		z := retrieval.NewCodes(n, l)
+		rng := rand.New(rand.NewSource(17))
+		for i := 0; i < n; i++ {
+			z.SetWord64(i, rng.Uint64()&((1<<uint(l))-1))
+		}
+		pristine := binauto.NewModel(128, l, 1e-5)
+		cfg := &binauto.MACConfig{L: l, SVMLambda: 1e-5, SVMEpochs: 2, DecLambda: 1e-4}
+		rep.Benchmarks = append(rep.Benchmarks, record(
+			fmt.Sprintf("WStepSerial/N=%d,L=%d,D=128", n, l),
+			testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					m := pristine.Clone()
+					wrng := rand.New(rand.NewSource(18))
+					b.StartTimer()
+					if err := binauto.TrainWStepSerial(m, ds, z, cfg, wrng); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})))
+		var fusedSerialNs float64
+		for _, workers := range []int{1, 2, 4, 8} {
+			w := workers
+			res := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					m := pristine.Clone()
+					wrng := rand.New(rand.NewSource(18))
+					b.StartTimer()
+					if err := binauto.TrainWStepFused(m, ds, z, cfg, wrng, w); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			ns := float64(res.T.Nanoseconds()) / float64(res.N)
+			if w == 1 {
+				fusedSerialNs = ns
+				rep.Benchmarks = append(rep.Benchmarks, record(
+					fmt.Sprintf("WStepFused/N=%d,L=%d,D=128", n, l), res))
+			}
+			sp := SweepPoint{Workers: w, NsPerOp: ns}
+			if fusedSerialNs > 0 {
+				sp.SpeedupVsSerial = fusedSerialNs / ns
+			}
+			rep.WStepSweep = append(rep.WStepSweep, sp)
+		}
+	}
+
+	// Batched Hamming retrieval: per-query serial loop vs the query-parallel
+	// pool (per-op work identical at every worker count).
+	{
+		n, q := 100000, 16
+		if quick {
+			n, q = 10000, 8
+		}
+		base := retrieval.NewCodes(n, 64)
+		queries := retrieval.NewCodes(q, 64)
+		rng := rand.New(rand.NewSource(19))
+		for i := 0; i < n; i++ {
+			base.SetWord64(i, rng.Uint64())
+		}
+		for i := 0; i < q; i++ {
+			queries.SetWord64(i, rng.Uint64())
+		}
+		var serialNs float64
+		for _, workers := range []int{1, 2, 4, 8} {
+			w := workers
+			res := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					retrieval.AllTopKHamming(base, queries, 50, w)
+				}
+			})
+			ns := float64(res.T.Nanoseconds()) / float64(res.N)
+			if w == 1 {
+				serialNs = ns
+				rep.Benchmarks = append(rep.Benchmarks, record(
+					fmt.Sprintf("AllTopKHamming/N=%d,Q=%d,k=50", n, q), res))
+			}
+			sp := SweepPoint{Workers: w, NsPerOp: ns}
+			if serialNs > 0 {
+				sp.SpeedupVsSerial = serialNs / ns
+			}
+			rep.RetrievalSweep = append(rep.RetrievalSweep, sp)
+		}
 	}
 
 	// Serial-vs-parallel full Z step at engine-iteration scale.

@@ -1,0 +1,183 @@
+package retrieval
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// tieHeavyCodes builds codes drawn from a tiny alphabet so Hamming ties are
+// everywhere — the regime where a sloppy parallel merge would diverge from
+// the serial lower-index tie rule.
+func tieHeavyCodes(n, l int, seed int64) *Codes {
+	rng := rand.New(rand.NewSource(seed))
+	alphabet := make([]uint64, 4)
+	for i := range alphabet {
+		alphabet[i] = rng.Uint64() & ((1 << uint(l)) - 1)
+	}
+	c := NewCodes(n, l)
+	for i := 0; i < n; i++ {
+		c.SetWord64(i, alphabet[rng.Intn(len(alphabet))])
+	}
+	return c
+}
+
+// TestTopKHammingParallelMatchesSerial: chunked scans with per-chunk top-k
+// merge must reproduce the serial scan exactly, including deterministic
+// tie-breaking by lower index, for every worker count and k regime.
+func TestTopKHammingParallelMatchesSerial(t *testing.T) {
+	base := tieHeavyCodes(700, 16, 1)
+	queries := tieHeavyCodes(20, 16, 2)
+	for _, k := range []int{1, 5, 50, 699, 700, 10000} {
+		for q := 0; q < queries.N; q++ {
+			want := TopKHamming(base, queries.Code(q), k)
+			for _, workers := range []int{2, 3, 8, -1} {
+				got := TopKHammingParallel(base, queries.Code(q), k, workers)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("k=%d q=%d workers=%d: parallel top-k differs from serial", k, q, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestAllTopKHammingMatchesLoop: the batch fan-out must equal the per-query
+// serial loop for any worker count.
+func TestAllTopKHammingMatchesLoop(t *testing.T) {
+	base := tieHeavyCodes(400, 24, 3)
+	queries := tieHeavyCodes(17, 24, 4)
+	want := make([][]int, queries.N)
+	for q := 0; q < queries.N; q++ {
+		want[q] = TopKHamming(base, queries.Code(q), 25)
+	}
+	for _, workers := range []int{0, 1, 2, 5, -1} {
+		got := AllTopKHamming(base, queries, 25, workers)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: batch retrieval differs from serial loop", workers)
+		}
+	}
+}
+
+// TestGroundTruthParallelMatchesSerial: query-parallel exact ground truth
+// must equal the serial computation.
+func TestGroundTruthParallelMatchesSerial(t *testing.T) {
+	base := dataset.GISTLike(300, 8, 3, 5)
+	queries := dataset.GISTLike(23, 8, 3, 6)
+	want := GroundTruth(base, queries, 10)
+	for _, workers := range []int{2, 4, -1} {
+		got := GroundTruthParallel(base, queries, 10, workers)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: parallel ground truth differs", workers)
+		}
+	}
+}
+
+// TestRankAndRecallParallelMatchSerial: the chunked rank count and the
+// query-parallel recall must equal their serial versions, ties included.
+func TestRankAndRecallParallelMatchSerial(t *testing.T) {
+	base := tieHeavyCodes(500, 12, 7)
+	queries := tieHeavyCodes(31, 12, 8)
+	trueNN := make([]int, queries.N)
+	rng := rand.New(rand.NewSource(9))
+	for q := range trueNN {
+		trueNN[q] = rng.Intn(base.N)
+	}
+	for q := 0; q < queries.N; q++ {
+		want := RankOfTrueNN(base, queries.Code(q), trueNN[q])
+		for _, workers := range []int{2, 6, -1} {
+			if got := RankOfTrueNNParallel(base, queries.Code(q), trueNN[q], workers); got != want {
+				t.Fatalf("q=%d workers=%d: rank %d != serial %d", q, workers, got, want)
+			}
+		}
+	}
+	rs := []int{1, 5, 100}
+	want := RecallAtR(base, queries, trueNN, rs)
+	for _, workers := range []int{2, 6, -1} {
+		if got := RecallAtRParallel(base, queries, trueNN, rs, workers); !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: recall@R differs from serial", workers)
+		}
+	}
+}
+
+// precisionMapOracle is the map-membership implementation Precision replaced;
+// kept here as the behavioural oracle for the sorted-buffer rewrite.
+func precisionMapOracle(truth, retrieved [][]int) float64 {
+	if len(truth) == 0 {
+		return 0
+	}
+	var total float64
+	for q := range truth {
+		if len(retrieved[q]) == 0 {
+			continue
+		}
+		set := make(map[int]struct{}, len(truth[q]))
+		for _, i := range truth[q] {
+			set[i] = struct{}{}
+		}
+		hit := 0
+		for _, i := range retrieved[q] {
+			if _, ok := set[i]; ok {
+				hit++
+			}
+		}
+		total += float64(hit) / float64(len(retrieved[q]))
+	}
+	return total / float64(len(truth))
+}
+
+// TestPrecisionMatchesMapOracle: the alloc-free sorted-membership Precision
+// must equal the map version on messy inputs — duplicates in the truth
+// lists, empty retrieved sets, unsorted indices.
+func TestPrecisionMatchesMapOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 50; trial++ {
+		nq := 1 + rng.Intn(8)
+		truth := make([][]int, nq)
+		retrieved := make([][]int, nq)
+		for q := 0; q < nq; q++ {
+			for j := 0; j < rng.Intn(12); j++ {
+				truth[q] = append(truth[q], rng.Intn(20))
+			}
+			for j := 0; j < rng.Intn(12); j++ {
+				retrieved[q] = append(retrieved[q], rng.Intn(20))
+			}
+		}
+		got := Precision(truth, retrieved)
+		want := precisionMapOracle(truth, retrieved)
+		if got != want {
+			t.Fatalf("trial %d: Precision %v != map oracle %v (truth=%v retrieved=%v)",
+				trial, got, want, truth, retrieved)
+		}
+	}
+}
+
+// TestPopcountWordHelpers pins the packed-column helpers against per-bit
+// counting.
+func TestPopcountWordHelpers(t *testing.T) {
+	z := tieHeavyCodes(200, 10, 11)
+	cols := z.Columns()
+	for a := 0; a < z.L; a++ {
+		ones := 0
+		for i := 0; i < z.N; i++ {
+			if z.Bit(i, a) {
+				ones++
+			}
+		}
+		if got := PopcountWords(cols[a]); got != ones {
+			t.Fatalf("col %d: popcount %d != %d", a, got, ones)
+		}
+		for b := 0; b < z.L; b++ {
+			both := 0
+			for i := 0; i < z.N; i++ {
+				if z.Bit(i, a) && z.Bit(i, b) {
+					both++
+				}
+			}
+			if got := PopcountAndWords(cols[a], cols[b]); got != both {
+				t.Fatalf("cols (%d,%d): and-popcount %d != %d", a, b, got, both)
+			}
+		}
+	}
+}

@@ -3,9 +3,52 @@ package retrieval
 import (
 	"sort"
 
+	"repro/internal/core"
 	"repro/internal/sgd"
 	"repro/internal/vec"
 )
+
+// hamCand is one candidate of a bounded top-k Hamming scan.
+type hamCand struct {
+	idx, dist int
+}
+
+// scanHamming appends to buf the top-k candidates of base rows [lo, hi),
+// sorted by (distance, index). Bounded insertion into a sorted buffer: k is
+// small (≤ 10⁴ in the paper's protocols) relative to N, so this beats a heap
+// in practice and keeps ordering fully deterministic — the buffer always
+// holds the lexicographically smallest (dist, idx) pairs seen so far.
+func scanHamming(base *Codes, query []uint64, k, lo, hi int, buf []hamCand) []hamCand {
+	worst := -1
+	if len(buf) > 0 {
+		worst = buf[len(buf)-1].dist
+	}
+	for i := lo; i < hi; i++ {
+		d := HammingWords(base.Code(i), query)
+		if len(buf) == k && d >= worst {
+			continue
+		}
+		pos := sort.Search(len(buf), func(j int) bool {
+			return buf[j].dist > d
+		})
+		if len(buf) < k {
+			buf = append(buf, hamCand{})
+		}
+		copy(buf[pos+1:], buf[pos:len(buf)-1])
+		buf[pos] = hamCand{i, d}
+		worst = buf[len(buf)-1].dist
+	}
+	return buf
+}
+
+// candIndices extracts the index column of a candidate buffer.
+func candIndices(buf []hamCand) []int {
+	out := make([]int, len(buf))
+	for i, c := range buf {
+		out[i] = c.idx
+	}
+	return out
+}
 
 // TopKHamming returns the indices of the k base codes nearest to query in
 // Hamming distance, ties broken by lower index (deterministic). The linear
@@ -15,33 +58,55 @@ func TopKHamming(base *Codes, query []uint64, k int) []int {
 	if k > base.N {
 		k = base.N
 	}
-	type cand struct {
-		idx, dist int
+	return candIndices(scanHamming(base, query, k, 0, base.N, make([]hamCand, 0, k)))
+}
+
+// TopKHammingParallel is TopKHamming with the base scan chunked over workers
+// goroutines (0/1 serial, < 0 every core): each chunk keeps its own top-k
+// buffer, and the per-chunk results are merged by (distance, index) — the
+// same total order the serial insertion maintains — so the output is
+// identical to TopKHamming for any worker count.
+func TopKHammingParallel(base *Codes, query []uint64, k, workers int) []int {
+	if k > base.N {
+		k = base.N
 	}
-	// Bounded insertion into a sorted buffer: k is small (≤ 10⁴ in the
-	// paper's protocols) relative to N, so this beats a heap in practice
-	// and keeps ordering fully deterministic.
-	buf := make([]cand, 0, k)
-	worst := -1
-	for i := 0; i < base.N; i++ {
-		d := HammingWords(base.Code(i), query)
-		if len(buf) == k && d >= worst {
-			continue
+	workers = core.ClampWorkers(base.N, core.Cores(workers))
+	if workers <= 1 {
+		return TopKHamming(base, query, k)
+	}
+	parts := make([][]hamCand, workers)
+	core.ParallelChunks(base.N, workers, func(w, lo, hi int) {
+		parts[w] = scanHamming(base, query, k, lo, hi, make([]hamCand, 0, k))
+	})
+	var all []hamCand
+	for _, p := range parts {
+		all = append(all, p...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].dist != all[j].dist {
+			return all[i].dist < all[j].dist
 		}
-		pos := sort.Search(len(buf), func(j int) bool {
-			return buf[j].dist > d
-		})
-		if len(buf) < k {
-			buf = append(buf, cand{})
+		return all[i].idx < all[j].idx
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return candIndices(all)
+}
+
+// AllTopKHamming runs TopKHamming for every query code, fanned out over
+// workers goroutines (0/1 serial, < 0 every core). Queries are independent,
+// so the result equals the serial per-query loop for any worker count. This
+// is the batch shape Validation.Score and the retrieval drivers use; each
+// query's base scan stays serial because the query fan-out already saturates
+// the pool.
+func AllTopKHamming(base, queries *Codes, k, workers int) [][]int {
+	out := make([][]int, queries.N)
+	core.ParallelChunks(queries.N, core.Cores(workers), func(_, lo, hi int) {
+		for q := lo; q < hi; q++ {
+			out[q] = TopKHamming(base, queries.Code(q), k)
 		}
-		copy(buf[pos+1:], buf[pos:len(buf)-1])
-		buf[pos] = cand{i, d}
-		worst = buf[len(buf)-1].dist
-	}
-	out := make([]int, len(buf))
-	for i, c := range buf {
-		out[i] = c.idx
-	}
+	})
 	return out
 }
 
@@ -84,13 +149,24 @@ func TopKEuclidean(base sgd.Points, query []float64, k int) []int {
 
 // GroundTruth computes, for every query row, the K exact Euclidean nearest
 // base points. It is O(Q·N·D); the experiment drivers scale Q and N so this
-// stays affordable.
+// stays affordable — or hand GroundTruthParallel a worker pool.
 func GroundTruth(base sgd.Points, queries sgd.Points, k int) [][]int {
-	out := make([][]int, queries.NumPoints())
-	buf := make([]float64, pointsDim(queries))
-	for q := range out {
-		out[q] = TopKEuclidean(base, queries.Point(q, buf), k)
-	}
+	return GroundTruthParallel(base, queries, k, 1)
+}
+
+// GroundTruthParallel is GroundTruth fanned out over workers goroutines
+// (0/1 serial, < 0 every core); queries are independent, so the result is
+// identical for any worker count.
+func GroundTruthParallel(base sgd.Points, queries sgd.Points, k, workers int) [][]int {
+	nq := queries.NumPoints()
+	out := make([][]int, nq)
+	d := pointsDim(queries)
+	core.ParallelChunks(nq, core.Cores(workers), func(_, lo, hi int) {
+		buf := make([]float64, d)
+		for q := lo; q < hi; q++ {
+			out[q] = TopKEuclidean(base, queries.Point(q, buf), k)
+		}
+	})
 	return out
 }
 
@@ -103,7 +179,10 @@ func pointsDim(p sgd.Points) int {
 
 // Precision computes the paper's retrieval precision: for each query, the
 // fraction of the k Hamming-retrieved points that are among the K true
-// Euclidean neighbours, averaged over queries.
+// Euclidean neighbours, averaged over queries. Membership is tested against
+// a sorted copy of the truth list kept in one buffer reused across queries,
+// so the inner loop allocates nothing (the per-query map this replaces was
+// the scoring hot spot at large Q).
 func Precision(truth [][]int, retrieved [][]int) float64 {
 	if len(truth) != len(retrieved) {
 		panic("retrieval: Precision length mismatch")
@@ -111,18 +190,17 @@ func Precision(truth [][]int, retrieved [][]int) float64 {
 	if len(truth) == 0 {
 		return 0
 	}
+	var member []int
 	var total float64
 	for q := range truth {
 		if len(retrieved[q]) == 0 {
 			continue
 		}
-		set := make(map[int]struct{}, len(truth[q]))
-		for _, i := range truth[q] {
-			set[i] = struct{}{}
-		}
+		member = append(member[:0], truth[q]...)
+		sort.Ints(member)
 		hit := 0
 		for _, i := range retrieved[q] {
-			if _, ok := set[i]; ok {
+			if p := sort.SearchInts(member, i); p < len(member) && member[p] == i {
 				hit++
 			}
 		}
@@ -136,15 +214,32 @@ func Precision(truth [][]int, retrieved [][]int) float64 {
 // distances, we place the query as top rank", i.e. rank = 1 + #(points
 // strictly closer).
 func RankOfTrueNN(base *Codes, query []uint64, trueIdx int) int {
+	return RankOfTrueNNParallel(base, query, trueIdx, 1)
+}
+
+// RankOfTrueNNParallel is RankOfTrueNN with the base scan chunked over
+// workers goroutines (0/1 serial, < 0 every core). The rank is a count of
+// strictly-closer points — order-independent — so the result is identical
+// for any worker count.
+func RankOfTrueNNParallel(base *Codes, query []uint64, trueIdx, workers int) int {
 	d := HammingWords(base.Code(trueIdx), query)
+	workers = core.ClampWorkers(base.N, core.Cores(workers))
+	counts := make([]int, workers)
+	core.ParallelChunks(base.N, workers, func(w, lo, hi int) {
+		closer := 0
+		for i := lo; i < hi; i++ {
+			if i == trueIdx {
+				continue
+			}
+			if HammingWords(base.Code(i), query) < d {
+				closer++
+			}
+		}
+		counts[w] = closer
+	})
 	rank := 1
-	for i := 0; i < base.N; i++ {
-		if i == trueIdx {
-			continue
-		}
-		if HammingWords(base.Code(i), query) < d {
-			rank++
-		}
+	for _, c := range counts {
+		rank += c
 	}
 	return rank
 }
@@ -153,13 +248,22 @@ func RankOfTrueNN(base *Codes, query []uint64, trueIdx int) int {
 // whose true nearest neighbour (trueNN[q], an index into base) is ranked
 // within the top R positions by Hamming distance.
 func RecallAtR(base *Codes, queries *Codes, trueNN []int, rs []int) []float64 {
+	return RecallAtRParallel(base, queries, trueNN, rs, 1)
+}
+
+// RecallAtRParallel is RecallAtR with the per-query rank scans fanned out
+// over workers goroutines (0/1 serial, < 0 every core); identical output for
+// any worker count.
+func RecallAtRParallel(base *Codes, queries *Codes, trueNN []int, rs []int, workers int) []float64 {
 	if queries.N != len(trueNN) {
 		panic("retrieval: RecallAtR needs one true NN per query")
 	}
 	ranks := make([]int, queries.N)
-	for q := 0; q < queries.N; q++ {
-		ranks[q] = RankOfTrueNN(base, queries.Code(q), trueNN[q])
-	}
+	core.ParallelChunks(queries.N, core.Cores(workers), func(_, lo, hi int) {
+		for q := lo; q < hi; q++ {
+			ranks[q] = RankOfTrueNN(base, queries.Code(q), trueNN[q])
+		}
+	})
 	out := make([]float64, len(rs))
 	for ri, r := range rs {
 		hit := 0

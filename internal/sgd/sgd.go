@@ -59,6 +59,40 @@ func (s *Schedule) Steps() float64 { return s.t }
 // off.
 func (s *Schedule) SetSteps(t float64) { s.t = t }
 
+// Eta0Ladder returns the multiplicative candidate ladder lo, lo·factor, …, up
+// to hi that TuneEta0 searches. Exposed so fused trainers that evaluate many
+// submodels per candidate (one data pass shared by all of them) draw exactly
+// the same candidates as the per-submodel TuneEta0 search.
+func Eta0Ladder(lo, hi, factor float64) []float64 {
+	if lo <= 0 || hi < lo || factor <= 1 {
+		panic("sgd: invalid TuneEta0 range")
+	}
+	var out []float64
+	for eta := lo; eta <= hi*(1+1e-12); eta *= factor {
+		out = append(out, eta)
+	}
+	return out
+}
+
+// PickEta0 applies TuneEta0's selection rule to precomputed losses, one per
+// ladder candidate: the lowest finite loss wins, ties keep the earlier
+// (smaller) candidate, and etas[0] is returned when every loss is non-finite.
+func PickEta0(etas, losses []float64) float64 {
+	if len(etas) == 0 || len(etas) != len(losses) {
+		panic("sgd: PickEta0 needs one loss per candidate")
+	}
+	best := etas[0]
+	bestLoss := math.Inf(1)
+	for i, eta := range etas {
+		loss := losses[i]
+		if !math.IsNaN(loss) && !math.IsInf(loss, 0) && loss < bestLoss {
+			bestLoss = loss
+			best = eta
+		}
+	}
+	return best
+}
+
 // TuneEta0 picks η0 by a multiplicative line search over candidates
 // lo, lo·factor, …, up to hi. trial(η0) must run a short training pass from
 // the *current* parameters on a small sample (without mutating them) and
@@ -66,19 +100,12 @@ func (s *Schedule) SetSteps(t float64) { s.t = t }
 // finite loss. This mirrors the calibration pass of Bottou's sgd code used by
 // the paper. If every candidate produces a non-finite loss, lo is returned.
 func TuneEta0(lo, hi, factor float64, trial func(eta0 float64) float64) float64 {
-	if lo <= 0 || hi < lo || factor <= 1 {
-		panic("sgd: invalid TuneEta0 range")
+	etas := Eta0Ladder(lo, hi, factor)
+	losses := make([]float64, len(etas))
+	for i, eta := range etas {
+		losses[i] = trial(eta)
 	}
-	best := lo
-	bestLoss := math.Inf(1)
-	for eta := lo; eta <= hi*(1+1e-12); eta *= factor {
-		loss := trial(eta)
-		if !math.IsNaN(loss) && !math.IsInf(loss, 0) && loss < bestLoss {
-			bestLoss = loss
-			best = eta
-		}
-	}
-	return best
+	return PickEta0(etas, losses)
 }
 
 // TuningSampleSize returns min(n, 1000): the paper examines the first 1000

@@ -6,6 +6,7 @@
 package svm
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -60,12 +61,60 @@ func (m *Linear) Step(x []float64, y, eta float64) {
 	}
 }
 
+// StepFused performs the same SGD update as Step, bit for bit, in fewer
+// memory passes over w: the regularisation scaling and the margin dot product
+// fuse into one walk (each product reads the just-scaled, just-rounded
+// weight, exactly the value Scale would have stored, and the partial sums
+// follow vec.Dot's four-accumulator order), so only a violated margin pays a
+// second pass for the Axpy. This is the inner statement of the fused
+// multi-bit W step, where w stays hot in cache while x is shared by all bits.
+func (m *Linear) StepFused(x []float64, y, eta float64) {
+	w := m.W
+	if len(x) != len(w) {
+		panic(fmt.Sprintf("svm: StepFused length mismatch %d vs %d", len(x), len(w)))
+	}
+	x = x[:len(w)] // proves len(x) == len(w): eliminates the x[i] bounds check
+	c := 1 - eta*m.Lambda
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(w); i += 4 {
+		w0 := w[i] * c
+		w1 := w[i+1] * c
+		w2 := w[i+2] * c
+		w3 := w[i+3] * c
+		w[i], w[i+1], w[i+2], w[i+3] = w0, w1, w2, w3
+		s0 += w0 * x[i]
+		s1 += w1 * x[i+1]
+		s2 += w2 * x[i+2]
+		s3 += w3 * x[i+3]
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; i < len(w); i++ {
+		w[i] *= c
+		s += w[i] * x[i]
+	}
+	if y*(s+m.B) < 1 {
+		vec.Axpy(eta*y, x, w)
+		m.B += eta * y
+	}
+}
+
 // TrainPass runs one stochastic pass over the given sample order, advancing
-// the carried schedule. label(i) must return ±1 for point order[k]=i.
+// the carried schedule. label(i) must return ±1 for point order[k]=i. It
+// calls Step, the reference update; TrainPassFused is the faster equivalent.
 func (m *Linear) TrainPass(pts sgd.Points, label func(i int) float64, order []int, buf []float64) {
 	for _, i := range order {
 		x := pts.Point(i, buf)
 		m.Step(x, label(i), m.Sched.Next())
+	}
+}
+
+// TrainPassFused is TrainPass through StepFused: the same pass bit for bit,
+// with one fewer memory walk over w per update.
+func (m *Linear) TrainPassFused(pts sgd.Points, label func(i int) float64, order []int, buf []float64) {
+	for _, i := range order {
+		x := pts.Point(i, buf)
+		m.StepFused(x, label(i), m.Sched.Next())
 	}
 }
 
@@ -91,6 +140,20 @@ func (m *Linear) AvgLoss(pts sgd.Points, label func(i int) float64, idx []int) f
 	return loss/float64(len(idx)) + 0.5*m.Lambda*vec.SqNorm(m.W)
 }
 
+// The η0 calibration range of AutoTune (paper §8.1). TuneLadder exposes the
+// resulting candidate ladder so fused multi-bit tuners search exactly the
+// same candidates; change the range here and both paths move together.
+const (
+	tuneEta0Lo     = 1e-4
+	tuneEta0Hi     = 16
+	tuneEta0Factor = 4
+)
+
+// TuneLadder returns AutoTune's η0 candidate ladder.
+func TuneLadder() []float64 {
+	return sgd.Eta0Ladder(tuneEta0Lo, tuneEta0Hi, tuneEta0Factor)
+}
+
 // AutoTune calibrates the schedule's η0 by trial passes over the first
 // min(n,1000) points (paper §8.1), leaving the model parameters untouched.
 func (m *Linear) AutoTune(pts sgd.Points, label func(i int) float64) {
@@ -100,7 +163,7 @@ func (m *Linear) AutoTune(pts sgd.Points, label func(i int) float64) {
 	}
 	sample := sgd.Order(n, false, nil)
 	buf := make([]float64, len(m.W))
-	best := sgd.TuneEta0(1e-4, 16, 4, func(eta0 float64) float64 {
+	best := sgd.TuneEta0(tuneEta0Lo, tuneEta0Hi, tuneEta0Factor, func(eta0 float64) float64 {
 		trial := m.Clone()
 		trial.Sched = sgd.NewSchedule(eta0, m.Lambda)
 		trial.TrainPass(pts, label, sample, buf)
