@@ -54,6 +54,16 @@ func main() {
 		for _, s := range rep.RetrievalSweep {
 			fmt.Printf("AllTopKHamming workers=%-2d %10.0f ns/op  speedup %.2fx\n", s.Workers, s.NsPerOp, s.SpeedupVsSerial)
 		}
+		for _, sc := range rep.ServeScenarios {
+			switch sc.Scenario {
+			case "server":
+				fmt.Printf("serve %-13s target %7.0f qps  p50/p90/p99 %6.2f/%6.2f/%6.2f ms  met(p99<%gms)=%v\n",
+					sc.Scenario, sc.TargetQPS, sc.P50Ms, sc.P90Ms, sc.P99Ms, sc.P99Bound, sc.MetBound)
+			default:
+				fmt.Printf("serve %-13s %8.0f qps  p50/p90/p99 %6.2f/%6.2f/%6.2f ms  mean batch %.1f\n",
+					sc.Scenario, sc.QPS, sc.P50Ms, sc.P90Ms, sc.P99Ms, sc.MeanBatch)
+			}
+		}
 		fmt.Printf("report written to %s\n", path)
 		return
 	}

@@ -1,0 +1,79 @@
+// parmac-serve is the online retrieval service over a trained binary
+// autoencoder: it keeps a packed-code index in RAM and answers top-k Hamming
+// queries over a JSON HTTP API, micro-batching concurrent requests into one
+// multicore scan. The (model, index) pair hot-swaps atomically via an admin
+// endpoint, and a candidate pair can run in shadow mode against a sample of
+// live traffic before being promoted.
+//
+// Usage:
+//
+//	parmac-train -n 50000 -d 64 -bits 16 -iters 8 -out model.json \
+//	             -save-codes index.pmac       # train and export an index
+//	parmac-serve -index index.pmac -model model.json -addr :8080
+//
+//	# query: encode-and-search a raw feature vector
+//	curl -s localhost:8080/v1/search -d '{"vector":[0.1,0.2,…],"k":10}'
+//	# query: search a pre-encoded code (hex words)
+//	curl -s localhost:8080/v1/search -d '{"code":["0x3f2a"],"k":10}'
+//	# hot-swap, shadow, promote
+//	curl -s localhost:8080/v1/swap    -d '{"version":"v2","index":"new.pmac","model":"new.json"}'
+//	curl -s localhost:8080/v1/shadow  -d '{"version":"cand","index":"cand.pmac","model":"cand.json"}'
+//	curl -s localhost:8080/v1/promote -d '{}'
+//	curl -s localhost:8080/v1/stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		indexPath  = flag.String("index", "", "packed-code index file (retrieval.Codes.Save format, required)")
+		modelPath  = flag.String("model", "", "model JSON (optional; without it only raw-code queries are served)")
+		version    = flag.String("version", "v1", "label for the initial deployment")
+		shards     = flag.Int("shards", 1, "index shards for per-query fan-out")
+		workers    = flag.Int("workers", -1, "goroutines per batch scan (-1 = every core)")
+		maxBatch   = flag.Int("max-batch", 64, "max requests coalesced into one scan")
+		maxDelay   = flag.Duration("max-delay", 0, "how long to hold an under-filled batch (0 = flush when idle)")
+		maxK       = flag.Int("max-k", 1000, "largest k a request may ask for")
+		shadowRate = flag.Float64("shadow-rate", 0.1, "fraction of queries mirrored to the shadow deployment")
+		maxBytes   = flag.Int64("max-index-bytes", 0, "index payload budget for loads (0 = 1 GiB default)")
+	)
+	flag.Parse()
+
+	if *indexPath == "" {
+		fmt.Fprintln(os.Stderr, "parmac-serve: -index is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	dep, err := serve.LoadDeployment(*version, *indexPath, *modelPath, *shards, *maxBytes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "parmac-serve:", err)
+		os.Exit(1)
+	}
+	s := serve.New(dep, serve.Options{
+		Shards:        *shards,
+		Workers:       *workers,
+		MaxBatch:      *maxBatch,
+		MaxDelay:      *maxDelay,
+		MaxK:          *maxK,
+		ShadowRate:    *shadowRate,
+		MaxIndexBytes: *maxBytes,
+	})
+	defer s.Close()
+
+	fmt.Printf("parmac-serve: %q on %s — N=%d L=%d shards=%d model=%v\n",
+		*version, *addr, dep.Index.N, dep.Index.L, dep.Index.Shards(), dep.Model != nil)
+	srv := &http.Server{Addr: *addr, Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	if err := srv.ListenAndServe(); err != nil {
+		fmt.Fprintln(os.Stderr, "parmac-serve:", err)
+		os.Exit(1)
+	}
+}

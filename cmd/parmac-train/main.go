@@ -44,7 +44,7 @@ type options struct {
 	shuffle, approxZ        bool
 	seed                    int64
 	csvPath                 string
-	out, load               string
+	out, load, saveCodes    string
 
 	transport   string
 	coordinator bool
@@ -74,6 +74,7 @@ func parseFlags() *options {
 	flag.BoolVar(&o.approxZ, "approxz", true, "use the alternating Z step instead of exact enumeration")
 	flag.StringVar(&o.out, "out", "", "write the trained model JSON here")
 	flag.StringVar(&o.load, "load", "", "skip training; evaluate this model JSON")
+	flag.StringVar(&o.saveCodes, "save-codes", "", "write the encoded training set here as a packed-code index (parmac-serve -index)")
 
 	flag.StringVar(&o.transport, "transport", "inproc", "cluster transport: inproc (machine goroutines) or tcp (one OS process per machine)")
 	flag.BoolVar(&o.coordinator, "coordinator", false, "run as the TCP coordinator and wait for externally launched workers")
@@ -132,6 +133,14 @@ func main() {
 		fatalIf(model.Save(f))
 		fatalIf(f.Close())
 		fmt.Printf("model written to %s\n", o.out)
+	}
+	if o.saveCodes != "" {
+		f, err := os.Create(o.saveCodes)
+		fatalIf(err)
+		fatalIf(base.Save(f))
+		fatalIf(f.Close())
+		fmt.Printf("index written to %s (N=%d L=%d, %d bytes packed)\n",
+			o.saveCodes, base.N, base.L, base.MemoryBytes())
 	}
 }
 

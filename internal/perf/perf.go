@@ -56,6 +56,10 @@ type Report struct {
 	// the batched Hamming top-k scan over query workers.
 	WStepSweep     []SweepPoint `json:"wstep_sweep"`
 	RetrievalSweep []SweepPoint `json:"retrieval_sweep"`
+	// ServeScenarios are the MLPerf-Inference-style serving measurements
+	// (single-stream latency percentiles, server QPS at a p99 bound, offline
+	// throughput) over the parmac-serve pipeline.
+	ServeScenarios []ServeScenario `json:"serve_scenarios"`
 }
 
 func record(name string, r testing.BenchmarkResult) Result {
@@ -365,6 +369,9 @@ func Collect(label string, quick bool) *Report {
 			rep.ZStepSweep = append(rep.ZStepSweep, sp)
 		}
 	}
+
+	// MLPerf-Inference-style serving scenarios over the parmac-serve stack.
+	rep.ServeScenarios = CollectServe(quick)
 	return rep
 }
 

@@ -1,0 +1,195 @@
+package perf
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/retrieval"
+	"repro/internal/serve"
+)
+
+// MLPerf-Inference-style serving scenarios over the parmac-serve pipeline
+// (validation → micro-batch queue → sharded multicore scan), reported in the
+// BENCH JSON next to the micro-benchmarks:
+//
+//   - single_stream: one query in flight at a time; the latency percentiles
+//     are the figure of merit.
+//   - server: open-loop Poisson arrivals at a target QPS; the figure of
+//     merit is the highest rate whose p99 stays under the bound.
+//   - offline: every query available up front; throughput is the figure of
+//     merit and the batcher is free to coalesce maximally.
+//
+// The scenarios exercise serve.Server.Search — the exact path the HTTP
+// handler calls — so the numbers measure the real serving stack minus JSON.
+
+// ServeScenario is one scenario measurement.
+type ServeScenario struct {
+	Scenario  string  `json:"scenario"`
+	IndexN    int     `json:"index_n"`
+	Shards    int     `json:"shards"`
+	Queries   int     `json:"queries"`
+	K         int     `json:"k"`
+	P50Ms     float64 `json:"p50_ms,omitempty"`
+	P90Ms     float64 `json:"p90_ms,omitempty"`
+	P99Ms     float64 `json:"p99_ms,omitempty"`
+	QPS       float64 `json:"qps"`
+	TargetQPS float64 `json:"target_qps,omitempty"`   // server only
+	P99Bound  float64 `json:"p99_bound_ms,omitempty"` // server only
+	MetBound  bool    `json:"met_bound,omitempty"`    // server only
+	MeanBatch float64 `json:"mean_batch"`
+}
+
+const (
+	serveK        = 10
+	serveShards   = 4
+	serveP99Bound = 50.0 // ms — the "server QPS at a p99 bound" target
+)
+
+// serveFixture builds a raw-code server over n random 64-bit codes.
+func serveFixture(n int) (*serve.Server, *retrieval.Codes) {
+	base := retrieval.NewCodes(n, 64)
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < n; i++ {
+		base.SetWord64(i, rng.Uint64())
+	}
+	dep, err := serve.NewDeployment("bench", nil, serve.NewShardedIndex(base, serveShards))
+	if err != nil {
+		panic(err)
+	}
+	s := serve.New(dep, serve.Options{
+		ShadowRate: -1,
+		Logf:       func(string, ...any) {},
+	})
+	queries := retrieval.NewCodes(4096, 64)
+	for i := 0; i < queries.N; i++ {
+		queries.SetWord64(i, rng.Uint64())
+	}
+	return s, queries
+}
+
+func percentileMs(lat []time.Duration, p float64) float64 {
+	if len(lat) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p*float64(len(lat)))) - 1
+	i = min(max(i, 0), len(lat)-1)
+	return float64(lat[i]) / 1e6
+}
+
+func scenarioStats(sc ServeScenario, lat []time.Duration, elapsed time.Duration, st serve.Stats) ServeScenario {
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	sc.P50Ms = percentileMs(lat, 0.50)
+	sc.P90Ms = percentileMs(lat, 0.90)
+	sc.P99Ms = percentileMs(lat, 0.99)
+	if elapsed > 0 {
+		sc.QPS = float64(len(lat)) / elapsed.Seconds()
+	}
+	sc.MeanBatch = st.MeanBatch
+	return sc
+}
+
+// CollectServe runs the three scenarios and returns their measurements.
+func CollectServe(quick bool) []ServeScenario {
+	n, single, perRate, offline := 50000, 600, 400, 2048
+	if quick {
+		n, single, perRate, offline = 5000, 120, 100, 256
+	}
+	var out []ServeScenario
+
+	// Single-stream: sequential queries, one in flight.
+	{
+		s, queries := serveFixture(n)
+		lat := make([]time.Duration, 0, single)
+		start := time.Now()
+		for i := 0; i < single; i++ {
+			q := serve.Query{Code: queries.Code(i % queries.N), K: serveK}
+			t0 := time.Now()
+			if _, err := s.Search(q); err != nil {
+				panic(err)
+			}
+			lat = append(lat, time.Since(t0))
+		}
+		elapsed := time.Since(start)
+		st := s.Stats()
+		s.Close()
+		out = append(out, scenarioStats(ServeScenario{
+			Scenario: "single_stream", IndexN: n, Shards: serveShards,
+			Queries: single, K: serveK,
+		}, lat, elapsed, st))
+	}
+
+	// Server: open-loop Poisson arrivals over a ladder of target rates; a
+	// rate point meets the scenario when its p99 stays under the bound. The
+	// ladder is anchored at the single-stream service rate.
+	meanMs := out[0].P50Ms
+	if meanMs <= 0 {
+		meanMs = 0.1
+	}
+	serviceQPS := 1000 / meanMs
+	for _, mult := range []float64{0.25, 0.5, 1} {
+		target := serviceQPS * mult
+		s, queries := serveFixture(n)
+		lat := make([]time.Duration, perRate)
+		var wg sync.WaitGroup
+		rng := rand.New(rand.NewSource(37))
+		start := time.Now()
+		for i := 0; i < perRate; i++ {
+			gap := time.Duration(rng.ExpFloat64() / target * float64(time.Second))
+			time.Sleep(gap)
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				q := serve.Query{Code: queries.Code(i % queries.N), K: serveK}
+				t0 := time.Now()
+				if _, err := s.Search(q); err != nil {
+					panic(err)
+				}
+				lat[i] = time.Since(t0)
+			}(i)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		st := s.Stats()
+		s.Close()
+		sc := scenarioStats(ServeScenario{
+			Scenario: "server", IndexN: n, Shards: serveShards,
+			Queries: perRate, K: serveK,
+			TargetQPS: target, P99Bound: serveP99Bound,
+		}, lat, elapsed, st)
+		sc.MetBound = sc.P99Ms <= serveP99Bound
+		out = append(out, sc)
+	}
+
+	// Offline: everything in flight at once; the batcher coalesces freely
+	// and throughput is all that matters.
+	{
+		s, queries := serveFixture(n)
+		var wg sync.WaitGroup
+		lat := make([]time.Duration, offline)
+		start := time.Now()
+		for i := 0; i < offline; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				q := serve.Query{Code: queries.Code(i % queries.N), K: serveK}
+				t0 := time.Now()
+				if _, err := s.Search(q); err != nil {
+					panic(err)
+				}
+				lat[i] = time.Since(t0)
+			}(i)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		st := s.Stats()
+		s.Close()
+		out = append(out, scenarioStats(ServeScenario{
+			Scenario: "offline", IndexN: n, Shards: serveShards,
+			Queries: offline, K: serveK,
+		}, lat, elapsed, st))
+	}
+	return out
+}

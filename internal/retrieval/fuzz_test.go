@@ -1,0 +1,68 @@
+package retrieval
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// FuzzLoadCodes throws arbitrary bytes at the index loader. The loader faces
+// exactly this input once a serving tier reloads indexes from disk or an
+// admin endpoint, so the contract under fuzzing is strict: never panic,
+// never allocate payload storage for bytes that do not exist, and accept an
+// input iff it is byte-for-byte a canonical Save output — which the fuzz
+// body verifies by re-saving every accepted parse and comparing raw bytes.
+func FuzzLoadCodes(f *testing.F) {
+	save := func(c *Codes) []byte {
+		var buf bytes.Buffer
+		if err := c.Save(&buf); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	rng := rand.New(rand.NewSource(42))
+	for _, shape := range []struct{ n, l int }{{1, 1}, {7, 8}, {3, 64}, {5, 65}, {0, 16}, {129, 48}} {
+		c := NewCodes(shape.n, shape.l)
+		for i := range c.Data {
+			c.Data[i] = rng.Uint64()
+		}
+		if shape.l%64 != 0 {
+			for i := 0; i < c.N; i++ {
+				code := c.Code(i)
+				code[len(code)-1] &= (1 << uint(shape.l%64)) - 1
+			}
+		}
+		valid := save(c)
+		f.Add(valid)
+		f.Add(valid[:len(valid)/2]) // truncated payload
+		f.Add(append(valid, 0x00))  // trailing byte
+		f.Add(valid[:28])           // header only
+	}
+	f.Add(craftHeader(1, 1<<40, 1<<20)) // huge-header allocation attack
+	f.Add(craftHeader(1, 1<<40+1, 1))   // implausible N
+	f.Add(craftHeader(2, 1, 1))         // wrong version
+	f.Add(craftHeader(1, 1, 0))         // zero L
+	f.Add([]byte("PMAC"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// A small budget keeps the fuzzer from ever legitimately building a
+		// big index; headers over budget must be rejected up front.
+		c, err := LoadCodesLimit(bytes.NewReader(data), 1<<20)
+		if err != nil {
+			return
+		}
+		if c.L <= 0 || c.N < 0 || c.Words != (c.L+63)/64 || len(c.Data) != c.N*c.Words {
+			t.Fatalf("accepted inconsistent codes: N=%d L=%d Words=%d len=%d",
+				c.N, c.L, c.Words, len(c.Data))
+		}
+		var buf bytes.Buffer
+		if err := c.Save(&buf); err != nil {
+			t.Fatalf("re-save of accepted input failed: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), data) {
+			t.Fatalf("accepted input is not canonical: %d bytes in, %d bytes re-saved",
+				len(data), buf.Len())
+		}
+	})
+}

@@ -8,9 +8,25 @@ import (
 	"repro/internal/vec"
 )
 
-// hamCand is one candidate of a bounded top-k Hamming scan.
-type hamCand struct {
-	idx, dist int
+// Neighbor is one result of a top-k Hamming scan: a base index and its
+// distance. Scans and merges keep neighbors sorted by (Dist, Index) — the
+// deterministic total order every search entry point in this package obeys.
+type Neighbor struct {
+	Index int `json:"index"`
+	Dist  int `json:"dist"`
+}
+
+// clampK resolves a requested result count against a base size: negative or
+// zero k means an empty result (k is a request parameter once a server
+// exists, so it must never panic), and k is capped at n.
+func clampK(k, n int) int {
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	return k
 }
 
 // scanHamming appends to buf the top-k candidates of base rows [lo, hi),
@@ -18,10 +34,13 @@ type hamCand struct {
 // small (≤ 10⁴ in the paper's protocols) relative to N, so this beats a heap
 // in practice and keeps ordering fully deterministic — the buffer always
 // holds the lexicographically smallest (dist, idx) pairs seen so far.
-func scanHamming(base *Codes, query []uint64, k, lo, hi int, buf []hamCand) []hamCand {
+func scanHamming(base *Codes, query []uint64, k, lo, hi int, buf []Neighbor) []Neighbor {
+	if k <= 0 {
+		return buf
+	}
 	worst := -1
 	if len(buf) > 0 {
-		worst = buf[len(buf)-1].dist
+		worst = buf[len(buf)-1].Dist
 	}
 	for i := lo; i < hi; i++ {
 		d := HammingWords(base.Code(i), query)
@@ -29,36 +48,78 @@ func scanHamming(base *Codes, query []uint64, k, lo, hi int, buf []hamCand) []ha
 			continue
 		}
 		pos := sort.Search(len(buf), func(j int) bool {
-			return buf[j].dist > d
+			return buf[j].Dist > d
 		})
 		if len(buf) < k {
-			buf = append(buf, hamCand{})
+			buf = append(buf, Neighbor{})
 		}
 		copy(buf[pos+1:], buf[pos:len(buf)-1])
-		buf[pos] = hamCand{i, d}
-		worst = buf[len(buf)-1].dist
+		buf[pos] = Neighbor{Index: i, Dist: d}
+		worst = buf[len(buf)-1].Dist
 	}
 	return buf
 }
 
 // candIndices extracts the index column of a candidate buffer.
-func candIndices(buf []hamCand) []int {
+func candIndices(buf []Neighbor) []int {
 	out := make([]int, len(buf))
 	for i, c := range buf {
-		out[i] = c.idx
+		out[i] = c.Index
 	}
 	return out
 }
 
-// TopKHamming returns the indices of the k base codes nearest to query in
-// Hamming distance, ties broken by lower index (deterministic). The linear
-// scan over packed words is exactly the search the paper motivates: Hamming
-// distances "at a vastly faster speed and smaller memory" than Euclidean.
-func TopKHamming(base *Codes, query []uint64, k int) []int {
-	if k > base.N {
-		k = base.N
+// MergeTopK merges per-part top-k candidate lists (each sorted by
+// (Dist, Index)) into one global top-k in the same order. This is the exact
+// tie rule the serial scan maintains, so chunked scans — and multi-shard
+// fan-out in a serving tier, with each part's indices already offset into the
+// global id space — merge without changing any result. k < 0 keeps
+// everything.
+func MergeTopK(parts [][]Neighbor, k int) []Neighbor {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
 	}
-	return candIndices(scanHamming(base, query, k, 0, base.N, make([]hamCand, 0, k)))
+	all := make([]Neighbor, 0, total)
+	for _, p := range parts {
+		all = append(all, p...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Dist != all[j].Dist {
+			return all[i].Dist < all[j].Dist
+		}
+		return all[i].Index < all[j].Index
+	})
+	if k >= 0 && len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// OffsetNeighbors shifts every index by off, mapping shard-local results into
+// a global id space before MergeTopK.
+func OffsetNeighbors(ns []Neighbor, off int) []Neighbor {
+	for i := range ns {
+		ns[i].Index += off
+	}
+	return ns
+}
+
+// TopKHammingDist returns the k base codes nearest to query in Hamming
+// distance with their distances, sorted by (distance, index). k ≤ 0 returns
+// an empty slice. The linear scan over packed words is exactly the search
+// the paper motivates: Hamming distances "at a vastly faster speed and
+// smaller memory" than Euclidean.
+func TopKHammingDist(base *Codes, query []uint64, k int) []Neighbor {
+	k = clampK(k, base.N)
+	return scanHamming(base, query, k, 0, base.N, make([]Neighbor, 0, k))
+}
+
+// TopKHamming returns the indices of the k base codes nearest to query in
+// Hamming distance, ties broken by lower index (deterministic). k ≤ 0
+// returns an empty slice.
+func TopKHamming(base *Codes, query []uint64, k int) []int {
+	return candIndices(TopKHammingDist(base, query, k))
 }
 
 // TopKHammingParallel is TopKHamming with the base scan chunked over workers
@@ -67,31 +128,19 @@ func TopKHamming(base *Codes, query []uint64, k int) []int {
 // same total order the serial insertion maintains — so the output is
 // identical to TopKHamming for any worker count.
 func TopKHammingParallel(base *Codes, query []uint64, k, workers int) []int {
-	if k > base.N {
-		k = base.N
+	k = clampK(k, base.N)
+	if k == 0 {
+		return []int{}
 	}
 	workers = core.ClampWorkers(base.N, core.Cores(workers))
 	if workers <= 1 {
 		return TopKHamming(base, query, k)
 	}
-	parts := make([][]hamCand, workers)
+	parts := make([][]Neighbor, workers)
 	core.ParallelChunks(base.N, workers, func(w, lo, hi int) {
-		parts[w] = scanHamming(base, query, k, lo, hi, make([]hamCand, 0, k))
+		parts[w] = scanHamming(base, query, k, lo, hi, make([]Neighbor, 0, k))
 	})
-	var all []hamCand
-	for _, p := range parts {
-		all = append(all, p...)
-	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].dist != all[j].dist {
-			return all[i].dist < all[j].dist
-		}
-		return all[i].idx < all[j].idx
-	})
-	if len(all) > k {
-		all = all[:k]
-	}
-	return candIndices(all)
+	return candIndices(MergeTopK(parts, k))
 }
 
 // AllTopKHamming runs TopKHamming for every query code, fanned out over
@@ -110,19 +159,33 @@ func AllTopKHamming(base, queries *Codes, k, workers int) [][]int {
 	return out
 }
 
+// AllTopKHammingDist is AllTopKHamming keeping distances: one batched pass
+// over all queries, each row sorted by (distance, index). This is the shape
+// a serving tier's micro-batcher coalesces concurrent requests into.
+func AllTopKHammingDist(base, queries *Codes, k, workers int) [][]Neighbor {
+	out := make([][]Neighbor, queries.N)
+	core.ParallelChunks(queries.N, core.Cores(workers), func(_, lo, hi int) {
+		for q := lo; q < hi; q++ {
+			out[q] = TopKHammingDist(base, queries.Code(q), k)
+		}
+	})
+	return out
+}
+
 // TopKEuclidean returns the indices of the k base points nearest to query in
 // Euclidean distance (the exact ground truth of §8.1), ties broken by lower
-// index.
+// index. k ≤ 0 returns an empty slice.
 func TopKEuclidean(base sgd.Points, query []float64, k int) []int {
 	n := base.NumPoints()
-	if k > n {
-		k = n
-	}
+	k = clampK(k, n)
 	type cand struct {
 		idx  int
 		dist float64
 	}
 	buf := make([]cand, 0, k)
+	if k == 0 {
+		return []int{}
+	}
 	worst := -1.0
 	tmp := make([]float64, len(query))
 	for i := 0; i < n; i++ {
@@ -179,10 +242,11 @@ func pointsDim(p sgd.Points) int {
 
 // Precision computes the paper's retrieval precision: for each query, the
 // fraction of the k Hamming-retrieved points that are among the K true
-// Euclidean neighbours, averaged over queries. Membership is tested against
-// a sorted copy of the truth list kept in one buffer reused across queries,
-// so the inner loop allocates nothing (the per-query map this replaces was
-// the scoring hot spot at large Q).
+// Euclidean neighbours, averaged over queries. A query with an empty
+// retrieved list (k = 0 requests are legal) contributes zero precision.
+// Membership is tested against a sorted copy of the truth list kept in one
+// buffer reused across queries, so the inner loop allocates nothing (the
+// per-query map this replaces was the scoring hot spot at large Q).
 func Precision(truth [][]int, retrieved [][]int) float64 {
 	if len(truth) != len(retrieved) {
 		panic("retrieval: Precision length mismatch")
@@ -246,7 +310,9 @@ func RankOfTrueNNParallel(base *Codes, query []uint64, trueIdx, workers int) int
 
 // RecallAtR computes recall@R for each requested R: the fraction of queries
 // whose true nearest neighbour (trueNN[q], an index into base) is ranked
-// within the top R positions by Hamming distance.
+// within the top R positions by Hamming distance. R ≤ 0 entries yield 0
+// (every rank is ≥ 1), so callers forwarding request parameters need no
+// special casing.
 func RecallAtR(base *Codes, queries *Codes, trueNN []int, rs []int) []float64 {
 	return RecallAtRParallel(base, queries, trueNN, rs, 1)
 }

@@ -1,0 +1,50 @@
+package serve
+
+import (
+	"testing"
+)
+
+// FuzzSearchRequest throws arbitrary client bytes at the search-request
+// parser — the first thing untrusted traffic touches. The contract: a Query
+// or a 400-class apiError, never a panic, and any accepted code words must
+// have round-trippable hex forms.
+func FuzzSearchRequest(f *testing.F) {
+	f.Add([]byte(`{"vector":[1,2,3],"k":5}`))
+	f.Add([]byte(`{"code":["0xdeadbeef"],"k":10}`))
+	f.Add([]byte(`{"code":["ffff"]}`))
+	f.Add([]byte(`{"code":["0x10000000000000000"]}`)) // overflows uint64
+	f.Add([]byte(`{"code":[],"vector":[]}`))
+	f.Add([]byte(`{"k":-9223372036854775808}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"vector":[1e308,-1e308],"code":null}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := parseSearchRequest(data)
+		if err != nil {
+			ae, ok := err.(*apiError)
+			if !ok {
+				t.Fatalf("parse error is %T, want *apiError", err)
+			}
+			if ae.status < 400 || ae.status > 499 {
+				t.Fatalf("parse error status %d, want 4xx", ae.status)
+			}
+			return
+		}
+		// Accepted: the canonical hex rendering must parse back to the same
+		// words.
+		back, err := parseSearchRequest([]byte(`{"code":["` + joinHex(q.Code) + `"]}`))
+		if len(q.Code) == 1 {
+			if err != nil || back.Code[0] != q.Code[0] {
+				t.Fatalf("hex round trip: %v %v", err, back.Code)
+			}
+		}
+	})
+}
+
+func joinHex(words []uint64) string {
+	if len(words) == 0 {
+		return "0"
+	}
+	return FormatCode(words[:1])[0]
+}

@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// The JSON API. Codes travel as hex-string words ("0x1a2b…" or bare hex),
+// little-endian word order, because JSON numbers cannot carry 64-bit
+// payloads exactly.
+//
+//	POST /v1/search   {"vector":[…]} | {"code":["0x…",…]}, "k": 10
+//	GET  /healthz
+//	GET  /v1/stats
+//	POST /v1/swap     {"version":"v2","index":"/path","model":"/path"}
+//	POST /v1/shadow   {"version":"cand","index":…,"model":…} | {"clear":true}
+//	POST /v1/promote
+//
+// Every admin mutation goes through the same atomic-pointer swap the library
+// API exposes, so a curl never tears in-flight traffic.
+
+// searchRequest is the wire form of a Query.
+type searchRequest struct {
+	Vector []float64 `json:"vector,omitempty"`
+	Code   []string  `json:"code,omitempty"`
+	K      int       `json:"k,omitempty"`
+}
+
+type neighborJSON struct {
+	Index int `json:"index"`
+	Dist  int `json:"dist"`
+}
+
+type searchResponse struct {
+	Model     string         `json:"model"`
+	Neighbors []neighborJSON `json:"neighbors"`
+}
+
+type deployRequest struct {
+	Version string `json:"version"`
+	Index   string `json:"index"`
+	Model   string `json:"model,omitempty"`
+	Clear   bool   `json:"clear,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// parseSearchRequest decodes and lifts a wire request into a Query. It is
+// exercised directly by a fuzz target: arbitrary client bytes must produce a
+// Query or an error, never a panic.
+func parseSearchRequest(data []byte) (Query, error) {
+	var req searchRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		return Query{}, badRequest("bad JSON: %v", err)
+	}
+	q := Query{Vector: req.Vector, K: req.K}
+	if len(req.Code) > 0 {
+		q.Code = make([]uint64, len(req.Code))
+		for i, w := range req.Code {
+			s := w
+			if len(s) > 2 && (s[:2] == "0x" || s[:2] == "0X") {
+				s = s[2:]
+			}
+			v, err := strconv.ParseUint(s, 16, 64)
+			if err != nil {
+				return Query{}, badRequest("code word %d: %q is not a hex word", i, w)
+			}
+			q.Code[i] = v
+		}
+	}
+	return q, nil
+}
+
+// FormatCode renders packed words as the hex strings the API accepts —
+// shared by the example and tests so clients have one canonical encoding.
+func FormatCode(words []uint64) []string {
+	out := make([]string, len(words))
+	for i, w := range words {
+		out[i] = fmt.Sprintf("0x%x", w)
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		writeJSON(w, ae.status, errorResponse{Error: ae.msg})
+		return
+	}
+	writeJSON(w, 500, errorResponse{Error: err.Error()})
+}
+
+// Handler returns the HTTP mux over this server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/search", s.handleSearch)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, 200, map[string]string{"status": "ok", "model": version(s.Live())})
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, 200, s.Stats())
+	})
+	mux.HandleFunc("POST /v1/swap", func(w http.ResponseWriter, r *http.Request) {
+		s.handleDeploy(w, r, false)
+	})
+	mux.HandleFunc("POST /v1/shadow", func(w http.ResponseWriter, r *http.Request) {
+		s.handleDeploy(w, r, true)
+	})
+	mux.HandleFunc("POST /v1/promote", func(w http.ResponseWriter, r *http.Request) {
+		dep, err := s.PromoteShadow()
+		if err != nil {
+			writeErr(w, badRequest("%v", err))
+			return
+		}
+		writeJSON(w, 200, map[string]string{"live": dep.Version})
+	})
+	return mux
+}
+
+const maxBodyBytes = 16 << 20 // vectors at GIST dimension are ~8 KB; 16 MiB is generous
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(w, r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	q, err := parseSearchRequest(body)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	rs, err := s.Search(q)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	resp := searchResponse{Model: rs.Version, Neighbors: make([]neighborJSON, len(rs.Neighbors))}
+	for i, n := range rs.Neighbors {
+		resp.Neighbors[i] = neighborJSON{Index: n.Index, Dist: n.Dist}
+	}
+	writeJSON(w, 200, resp)
+}
+
+func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request, shadow bool) {
+	body, err := readBody(w, r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var req deployRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeErr(w, badRequest("bad JSON: %v", err))
+		return
+	}
+	if shadow && req.Clear {
+		s.SetShadow(nil)
+		writeJSON(w, 200, map[string]string{"shadow": ""})
+		return
+	}
+	if req.Index == "" {
+		writeErr(w, badRequest("index path required"))
+		return
+	}
+	dep, err := LoadDeployment(req.Version, req.Index, req.Model, s.opts.Shards, s.opts.MaxIndexBytes)
+	if err != nil {
+		writeErr(w, badRequest("%v", err))
+		return
+	}
+	if shadow {
+		s.SetShadow(dep)
+		writeJSON(w, 200, map[string]string{"shadow": dep.Version})
+		return
+	}
+	old := s.Swap(dep)
+	writeJSON(w, 200, map[string]string{"live": dep.Version, "previous": version(old)})
+}
+
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return nil, &apiError{status: 413, msg: "request body too large"}
+		}
+		return nil, badRequest("read body: %v", err)
+	}
+	return body, nil
+}

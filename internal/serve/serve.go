@@ -1,0 +1,678 @@
+// Package serve is the online retrieval tier over the paper's packed binary
+// codes: an in-memory sharded Hamming index behind a JSON HTTP API, with
+// deadline-aware micro-batching that coalesces concurrent requests into one
+// batched scan, atomic hot swap of (model, index) pairs, and a shadow mode
+// that mirrors a sample of live queries to a candidate deployment and tracks
+// agreement — the serving patterns (batching, shadow/canary rollout) the
+// production-ML literature prescribes, applied to the paper's "serve Hamming
+// search to millions of users" pitch.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/binauto"
+	"repro/internal/core"
+	"repro/internal/retrieval"
+)
+
+// ShardedIndex splits a packed code set into row ranges so one query fans
+// out over shards and merges with retrieval.MergeTopK — the same tie-exact
+// merge the chunked scans use, so a sharded search equals the unsharded scan
+// for any shard count. Shards alias the original backing array (no copy) and
+// are immutable once built; swapping in new codes means building a new index.
+type ShardedIndex struct {
+	L      int
+	N      int
+	shards []*retrieval.Codes
+	offs   []int
+}
+
+// NewShardedIndex slices codes into at most shards row ranges (shards < 1
+// means 1; empty code sets get one empty shard).
+func NewShardedIndex(codes *retrieval.Codes, shards int) *ShardedIndex {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > codes.N {
+		shards = max(codes.N, 1)
+	}
+	ix := &ShardedIndex{L: codes.L, N: codes.N}
+	per := (codes.N + shards - 1) / shards
+	if per == 0 {
+		per = 1
+	}
+	for lo := 0; lo < codes.N || len(ix.shards) == 0; lo += per {
+		hi := min(lo+per, codes.N)
+		ix.shards = append(ix.shards, &retrieval.Codes{
+			N: hi - lo, L: codes.L, Words: codes.Words,
+			Data: codes.Data[lo*codes.Words : hi*codes.Words],
+		})
+		ix.offs = append(ix.offs, lo)
+		if hi == codes.N {
+			break
+		}
+	}
+	return ix
+}
+
+// Shards reports the fan-out width.
+func (ix *ShardedIndex) Shards() int { return len(ix.shards) }
+
+// Words reports the packed words per code.
+func (ix *ShardedIndex) Words() int { return (ix.L + 63) / 64 }
+
+// Search runs one query against every shard and merges to a global top-k.
+func (ix *ShardedIndex) Search(query []uint64, k int) []retrieval.Neighbor {
+	parts := make([][]retrieval.Neighbor, len(ix.shards))
+	for s, sh := range ix.shards {
+		parts[s] = retrieval.OffsetNeighbors(retrieval.TopKHammingDist(sh, query, k), ix.offs[s])
+	}
+	return retrieval.MergeTopK(parts, k)
+}
+
+// SearchBatch coalesces a batch of queries into one pass: the query loop
+// fans out over workers goroutines (the AllTopKHamming shape), each query
+// scanning every shard and merging shard results tie-exactly. Output row q
+// is identical to Search(queries.Code(q), k) for any worker count.
+func (ix *ShardedIndex) SearchBatch(queries *retrieval.Codes, k, workers int) [][]retrieval.Neighbor {
+	out := make([][]retrieval.Neighbor, queries.N)
+	core.ParallelChunks(queries.N, core.Cores(workers), func(_, lo, hi int) {
+		for q := lo; q < hi; q++ {
+			out[q] = ix.Search(queries.Code(q), k)
+		}
+	})
+	return out
+}
+
+// Deployment is one immutable (model, index) pair. Model may be nil, in
+// which case only raw-code queries can be served. Deployments are swapped
+// atomically: in-flight batches keep the snapshot they started with, so a
+// swap never tears a request across two versions.
+type Deployment struct {
+	Version string
+	Model   *binauto.Model
+	Index   *ShardedIndex
+}
+
+// NewDeployment validates that model and index agree on the code length.
+func NewDeployment(version string, model *binauto.Model, index *ShardedIndex) (*Deployment, error) {
+	if index == nil {
+		return nil, errors.New("serve: deployment needs an index")
+	}
+	if model != nil && model.L() != index.L {
+		return nil, fmt.Errorf("serve: model emits %d-bit codes but index holds %d-bit codes",
+			model.L(), index.L)
+	}
+	return &Deployment{Version: version, Model: model, Index: index}, nil
+}
+
+// LoadDeployment reads an index file (written by retrieval.Codes.Save) and
+// an optional model JSON from disk, enforcing maxIndexBytes (≤ 0 means
+// retrieval.DefaultMaxIndexBytes) against the index header before any large
+// allocation.
+func LoadDeployment(version, indexPath, modelPath string, shards int, maxIndexBytes int64) (*Deployment, error) {
+	f, err := os.Open(indexPath)
+	if err != nil {
+		return nil, fmt.Errorf("serve: open index: %w", err)
+	}
+	defer f.Close()
+	codes, err := retrieval.LoadCodesLimit(f, maxIndexBytes)
+	if err != nil {
+		return nil, err
+	}
+	var model *binauto.Model
+	if modelPath != "" {
+		mf, err := os.Open(modelPath)
+		if err != nil {
+			return nil, fmt.Errorf("serve: open model: %w", err)
+		}
+		defer mf.Close()
+		if model, err = binauto.Load(mf); err != nil {
+			return nil, err
+		}
+	}
+	return NewDeployment(version, model, NewShardedIndex(codes, shards))
+}
+
+// Options tune the server. Zero values mean the documented defaults.
+type Options struct {
+	// Shards is the fan-out width used when the server itself builds
+	// indexes (swap endpoint, LoadDeployment callers). Default 1.
+	Shards int
+	// Workers bounds the goroutines one batch scan uses (< 0 every core,
+	// which is the default).
+	Workers int
+	// MaxBatch caps how many requests one scan coalesces. Default 64.
+	MaxBatch int
+	// MaxDelay is how long the batcher holds an under-filled batch waiting
+	// for stragglers. 0 (the default) is work-conserving: the batcher
+	// flushes as soon as the queue is idle, so a lone request never waits —
+	// batches still form naturally whenever requests arrive faster than
+	// scans finish.
+	MaxDelay time.Duration
+	// MaxK bounds the per-request k. Default 1000.
+	MaxK int
+	// DefaultK is used when a request omits k. Default 10.
+	DefaultK int
+	// ShadowRate is the fraction of live queries mirrored to the shadow
+	// deployment, if one is set. Default 0.1; clamped to [0, 1].
+	ShadowRate float64
+	// ShadowSeed seeds the sampling of mirrored queries (deterministic for
+	// tests). 0 means 1.
+	ShadowSeed int64
+	// MaxIndexBytes is the budget the swap/shadow admin endpoints enforce
+	// when loading index files. ≤ 0 means retrieval.DefaultMaxIndexBytes.
+	MaxIndexBytes int64
+	// Logf receives shadow-agreement and swap log lines. Default log.Printf.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards < 1 {
+		o.Shards = 1
+	}
+	if o.Workers == 0 {
+		o.Workers = -1
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 64
+	}
+	if o.MaxK <= 0 {
+		o.MaxK = 1000
+	}
+	if o.DefaultK <= 0 {
+		o.DefaultK = 10
+	}
+	if o.ShadowRate == 0 {
+		o.ShadowRate = 0.1
+	}
+	o.ShadowRate = min(max(o.ShadowRate, 0), 1)
+	if o.ShadowSeed == 0 {
+		o.ShadowSeed = 1
+	}
+	if o.Logf == nil {
+		o.Logf = log.Printf
+	}
+	return o
+}
+
+// Query is one validated search request: exactly one of Vector (to be
+// encoded by the live model) or Code (raw packed words) is set.
+type Query struct {
+	Vector []float64
+	Code   []uint64
+	K      int
+}
+
+// ResultSet is the answer to one Query.
+type ResultSet struct {
+	Version   string               // deployment that served it
+	Neighbors []retrieval.Neighbor // sorted by (dist, index)
+}
+
+// apiError is an error with an HTTP status.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *apiError {
+	return &apiError{status: 400, msg: fmt.Sprintf(format, args...)}
+}
+
+// ErrClosed is returned by Search once Close has been called.
+var ErrClosed = errors.New("serve: server closed")
+
+// shadowLogEvery throttles shadow-agreement log lines: one line each time the
+// cumulative mirrored-query count crosses a multiple of this.
+const shadowLogEvery = 100
+
+type pending struct {
+	q    Query
+	resp chan response
+}
+
+type response struct {
+	rs  *ResultSet
+	err error
+}
+
+// Stats is a snapshot of the server counters.
+type Stats struct {
+	LiveVersion     string  `json:"live_version"`
+	ShadowVersion   string  `json:"shadow_version,omitempty"`
+	IndexN          int     `json:"index_n"`
+	IndexShards     int     `json:"index_shards"`
+	Queries         int64   `json:"queries"`
+	Errors          int64   `json:"errors"`
+	Batches         int64   `json:"batches"`
+	MeanBatch       float64 `json:"mean_batch"`
+	ShadowQueries   int64   `json:"shadow_queries"`
+	ShadowAgreement float64 `json:"shadow_agreement"` // mean overlap@k in [0,1]
+}
+
+// Server owns the live and shadow deployments, the request queue and the
+// batcher goroutine. All public methods are safe for concurrent use.
+type Server struct {
+	opts   Options
+	live   atomic.Pointer[Deployment]
+	shadow atomic.Pointer[Deployment]
+
+	queue chan *pending
+	quit  chan struct{}
+	done  chan struct{}
+
+	queries atomic.Int64
+	errs    atomic.Int64
+	batches atomic.Int64
+	batched atomic.Int64 // total requests across all batches
+
+	shadowQueries atomic.Int64
+	shadowOverlap atomic.Int64 // sum of per-query overlap in millionths
+
+	shadowMu  sync.Mutex
+	shadowRng *rand.Rand
+	shadowWG  sync.WaitGroup
+
+	closeOnce sync.Once
+}
+
+// New starts a server over the given live deployment.
+func New(dep *Deployment, opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:      opts,
+		queue:     make(chan *pending, 4*opts.MaxBatch),
+		quit:      make(chan struct{}),
+		done:      make(chan struct{}),
+		shadowRng: rand.New(rand.NewSource(opts.ShadowSeed)),
+	}
+	s.live.Store(dep)
+	go s.run()
+	return s
+}
+
+// Close stops the batcher after draining queued requests and waits for any
+// in-flight shadow mirroring. Searches after Close fail with ErrClosed.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { close(s.quit) })
+	<-s.done
+	s.shadowWG.Wait()
+}
+
+// WaitShadow blocks until all shadow mirroring registered so far has
+// completed, so Stats reflects every query already answered. Useful before
+// reading agreement numbers in tests and rollout tooling.
+func (s *Server) WaitShadow() { s.shadowWG.Wait() }
+
+// Live returns the current live deployment.
+func (s *Server) Live() *Deployment { return s.live.Load() }
+
+// Shadow returns the current shadow deployment (nil when unset).
+func (s *Server) Shadow() *Deployment { return s.shadow.Load() }
+
+// Swap atomically replaces the live deployment and returns the previous one.
+// In-flight batches finish on the snapshot they loaded, so no request is
+// dropped or served by a torn (model, index) pair.
+func (s *Server) Swap(dep *Deployment) *Deployment {
+	old := s.live.Swap(dep)
+	s.opts.Logf("serve: swapped live deployment %q -> %q (N=%d)",
+		version(old), dep.Version, dep.Index.N)
+	return old
+}
+
+// SetShadow installs (or, with nil, clears) the shadow deployment and resets
+// the agreement counters so the numbers describe exactly one candidate.
+func (s *Server) SetShadow(dep *Deployment) {
+	s.shadow.Store(dep)
+	s.shadowQueries.Store(0)
+	s.shadowOverlap.Store(0)
+	if dep != nil {
+		s.opts.Logf("serve: shadow deployment %q installed (N=%d)", dep.Version, dep.Index.N)
+	} else {
+		s.opts.Logf("serve: shadow deployment cleared")
+	}
+}
+
+// PromoteShadow swaps the shadow deployment into live (the canary passed)
+// and clears the shadow slot.
+func (s *Server) PromoteShadow() (*Deployment, error) {
+	dep := s.shadow.Load()
+	if dep == nil {
+		return nil, errors.New("serve: no shadow deployment to promote")
+	}
+	s.SetShadow(nil)
+	s.Swap(dep)
+	return dep, nil
+}
+
+func version(d *Deployment) string {
+	if d == nil {
+		return ""
+	}
+	return d.Version
+}
+
+// Stats snapshots the counters.
+func (s *Server) Stats() Stats {
+	live := s.live.Load()
+	st := Stats{
+		LiveVersion:   version(live),
+		ShadowVersion: version(s.shadow.Load()),
+		Queries:       s.queries.Load(),
+		Errors:        s.errs.Load(),
+		Batches:       s.batches.Load(),
+		ShadowQueries: s.shadowQueries.Load(),
+	}
+	if live != nil {
+		st.IndexN = live.Index.N
+		st.IndexShards = live.Index.Shards()
+	}
+	if st.Batches > 0 {
+		st.MeanBatch = float64(s.batched.Load()) / float64(st.Batches)
+	}
+	if st.ShadowQueries > 0 {
+		st.ShadowAgreement = float64(s.shadowOverlap.Load()) / 1e6 / float64(st.ShadowQueries)
+	}
+	return st
+}
+
+// validate checks a query against a deployment, resolving K defaults. It is
+// run once at enqueue (fast 400s against the then-live deployment) and again
+// at flush against the batch's snapshot, so a hot swap between the two can
+// only produce an explicit error, never a malformed scan.
+func (s *Server) validate(q *Query, dep *Deployment) error {
+	if dep == nil {
+		return &apiError{status: 503, msg: "no deployment loaded"}
+	}
+	if (len(q.Vector) == 0) == (len(q.Code) == 0) {
+		return badRequest("exactly one of vector and code must be set")
+	}
+	if q.K == 0 {
+		q.K = s.opts.DefaultK
+	}
+	if q.K < 0 {
+		return badRequest("k must be positive, got %d", q.K)
+	}
+	if q.K > s.opts.MaxK {
+		return badRequest("k=%d exceeds the maximum %d", q.K, s.opts.MaxK)
+	}
+	if len(q.Vector) > 0 {
+		if dep.Model == nil {
+			return badRequest("deployment %q has no model: send a raw code", dep.Version)
+		}
+		if len(q.Vector) != dep.Model.D() {
+			return badRequest("vector has %d dims, model wants %d", len(q.Vector), dep.Model.D())
+		}
+		return nil
+	}
+	if len(q.Code) != dep.Index.Words() {
+		return badRequest("code has %d words, index wants %d (L=%d)",
+			len(q.Code), dep.Index.Words(), dep.Index.L)
+	}
+	if top := dep.Index.L % 64; top != 0 {
+		if q.Code[len(q.Code)-1]>>uint(top) != 0 {
+			return badRequest("code has bits set above L=%d", dep.Index.L)
+		}
+	}
+	return nil
+}
+
+// Search runs one query through the full serving path — validation, the
+// micro-batch queue, the batched sharded scan — and blocks until its result
+// is ready. This is the method the HTTP handler, the perf scenarios and the
+// example all call, so every measurement exercises the real pipeline.
+func (s *Server) Search(q Query) (*ResultSet, error) {
+	if err := s.validate(&q, s.live.Load()); err != nil {
+		s.errs.Add(1)
+		return nil, err
+	}
+	p := &pending{q: q, resp: make(chan response, 1)}
+	select {
+	case s.queue <- p:
+	case <-s.quit:
+		return nil, ErrClosed
+	}
+	select {
+	case r := <-p.resp:
+		return r.rs, r.err
+	case <-s.done:
+		// The batcher exited; it drained the queue first, so a response is
+		// either already buffered or will never come.
+		select {
+		case r := <-p.resp:
+			return r.rs, r.err
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// run is the batcher loop: take one request, coalesce more up to MaxBatch —
+// waiting at most MaxDelay, or not at all when MaxDelay is 0 and the queue
+// goes idle — then flush the whole batch through one scan.
+func (s *Server) run() {
+	defer close(s.done)
+	for {
+		var first *pending
+		select {
+		case first = <-s.queue:
+		case <-s.quit:
+			s.drain()
+			return
+		}
+		batch := s.collect(first)
+		s.flush(batch)
+	}
+}
+
+// collect gathers a batch starting from first.
+func (s *Server) collect(first *pending) []*pending {
+	batch := []*pending{first}
+	if s.opts.MaxDelay <= 0 {
+		// Work-conserving: take whatever is already queued, never wait.
+		for len(batch) < s.opts.MaxBatch {
+			select {
+			case p := <-s.queue:
+				batch = append(batch, p)
+			default:
+				return batch
+			}
+		}
+		return batch
+	}
+	timer := time.NewTimer(s.opts.MaxDelay)
+	defer timer.Stop()
+	for len(batch) < s.opts.MaxBatch {
+		select {
+		case p := <-s.queue:
+			batch = append(batch, p)
+		case <-timer.C:
+			return batch
+		case <-s.quit:
+			return batch
+		}
+	}
+	return batch
+}
+
+// drain serves everything still queued at shutdown so no accepted request is
+// dropped.
+func (s *Server) drain() {
+	for {
+		select {
+		case p := <-s.queue:
+			s.flush(s.collect(p))
+		default:
+			return
+		}
+	}
+}
+
+// flush answers one batch from a single deployment snapshot: encode vector
+// queries with the snapshot's model, run one batched sharded scan at the
+// batch's largest k, then slice each request's prefix (the top-k order is a
+// prefix of the top-kmax order, so this is exact).
+func (s *Server) flush(batch []*pending) {
+	dep := s.live.Load()
+	s.batches.Add(1)
+	s.batched.Add(int64(len(batch)))
+	s.queries.Add(int64(len(batch)))
+
+	jobs := make([]flushJob, 0, len(batch))
+	queries := retrieval.NewCodes(len(batch), liveL(dep))
+	kmax := 0
+	for _, p := range batch {
+		// Re-validate against the snapshot: a swap between enqueue and flush
+		// may have changed L or D.
+		if err := s.validate(&p.q, dep); err != nil {
+			s.errs.Add(1)
+			p.resp <- response{err: err}
+			continue
+		}
+		row := len(jobs)
+		if len(p.q.Vector) > 0 {
+			encodeInto(dep.Model, p.q.Vector, queries, row)
+		} else {
+			copy(queries.Code(row), p.q.Code)
+		}
+		jobs = append(jobs, flushJob{p, row})
+		kmax = max(kmax, p.q.K)
+	}
+	if len(jobs) == 0 {
+		return
+	}
+	queries.N = len(jobs)
+	results := dep.Index.SearchBatch(queries, kmax, s.opts.Workers)
+	// Sample for the shadow before replying: the cheap synchronous part of
+	// mirror (sampling, registering the background search) finishing first
+	// means a client that got its answer can rely on the shadow counters
+	// eventually covering its query — no window where neither is visible.
+	s.mirror(dep, jobs, results)
+	for _, j := range jobs {
+		ns := results[j.row]
+		if len(ns) > j.p.q.K {
+			ns = ns[:j.p.q.K]
+		}
+		j.p.resp <- response{rs: &ResultSet{Version: dep.Version, Neighbors: ns}}
+	}
+}
+
+// flushJob maps a batched request to its row in the coalesced query set.
+type flushJob struct {
+	p   *pending
+	row int
+}
+
+// liveL returns the live code length (NewCodes needs L ≥ 1 even for a batch
+// that turns out to be all-error).
+func liveL(dep *Deployment) int {
+	if dep != nil && dep.Index.L > 0 {
+		return dep.Index.L
+	}
+	return 1
+}
+
+// encodeInto hashes x with the deployment model into row i of dst.
+func encodeInto(m *binauto.Model, x []float64, dst *retrieval.Codes, i int) {
+	if m.L() <= 64 {
+		dst.SetWord64(i, m.EncodePointWord(x))
+		return
+	}
+	for l := 0; l < m.L(); l++ {
+		dst.SetBit(i, l, m.EncodeBit(l, x))
+	}
+}
+
+// mirror sends a ShadowRate sample of the batch to the shadow deployment on
+// a background goroutine and accumulates agreement (overlap between the live
+// and shadow top-k id sets). Vector queries are re-encoded by the candidate
+// model — the whole point of shadowing a new model; raw-code queries are
+// mirrored only when the code lengths agree.
+func (s *Server) mirror(live *Deployment, flushed []flushJob, results [][]retrieval.Neighbor) {
+	sh := s.shadow.Load()
+	if sh == nil || s.opts.ShadowRate <= 0 {
+		return
+	}
+	type mjob struct {
+		q       Query
+		liveIDs []retrieval.Neighbor
+	}
+	var jobs []mjob
+	s.shadowMu.Lock()
+	for _, fj := range flushed {
+		if s.shadowRng.Float64() >= s.opts.ShadowRate {
+			continue
+		}
+		q := fj.p.q
+		if len(q.Vector) == 0 && len(q.Code) != sh.Index.Words() {
+			continue
+		}
+		if len(q.Vector) > 0 && (sh.Model == nil || len(q.Vector) != sh.Model.D()) {
+			continue
+		}
+		r := results[fj.row]
+		if len(r) > q.K {
+			r = r[:q.K]
+		}
+		jobs = append(jobs, mjob{q: q, liveIDs: r})
+	}
+	s.shadowMu.Unlock()
+	if len(jobs) == 0 {
+		return
+	}
+	s.shadowWG.Add(1)
+	go func() {
+		defer s.shadowWG.Done()
+		before := s.shadowQueries.Load()
+		for _, j := range jobs {
+			code := j.q.Code
+			if len(j.q.Vector) > 0 {
+				tmp := retrieval.NewCodes(1, sh.Index.L)
+				encodeInto(sh.Model, j.q.Vector, tmp, 0)
+				code = tmp.Code(0)
+			}
+			got := sh.Index.Search(code, j.q.K)
+			ov := overlap(j.liveIDs, got)
+			s.shadowQueries.Add(1)
+			s.shadowOverlap.Add(int64(ov * 1e6))
+		}
+		// Log cumulative agreement, throttled to every shadowLogEvery mirrored
+		// queries — one line per batch would swamp the log at production QPS.
+		after := s.shadowQueries.Load()
+		if before/shadowLogEvery != after/shadowLogEvery {
+			agree := float64(s.shadowOverlap.Load()) / 1e6 / float64(after)
+			s.opts.Logf("serve: shadow %q vs live %q: %d queries mirrored, cumulative agreement %.3f",
+				sh.Version, live.Version, after, agree)
+		}
+	}()
+}
+
+// overlap is |a ∩ b| / max(|a|, |b|, 1) over the index sets — 1 when the
+// candidate retrieves exactly the live ids, 0 when disjoint.
+func overlap(a, b []retrieval.Neighbor) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	set := make(map[int]struct{}, len(a))
+	for _, n := range a {
+		set[n.Index] = struct{}{}
+	}
+	hit := 0
+	for _, n := range b {
+		if _, ok := set[n.Index]; ok {
+			hit++
+		}
+	}
+	return float64(hit) / float64(max(len(a), len(b)))
+}

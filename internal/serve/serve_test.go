@@ -1,0 +1,489 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/binauto"
+	"repro/internal/dataset"
+	"repro/internal/retrieval"
+)
+
+func testModel(d, l int, seed int64) *binauto.Model {
+	rng := rand.New(rand.NewSource(seed))
+	m := binauto.NewModel(d, l, 1e-4)
+	m.InitEncoderRandom(rng, 1)
+	return m
+}
+
+// testDeployment builds a deployment over n random points hashed by a random
+// model, returning the flat codes too so tests can run oracle scans.
+func testDeployment(version string, n, d, l, shards int, seed int64) (*Deployment, *retrieval.Codes, *dataset.Dataset) {
+	ds := dataset.GISTLike(n, d, 4, seed)
+	m := testModel(d, l, seed+100)
+	codes := m.Encode(ds)
+	dep, err := NewDeployment(version, m, NewShardedIndex(codes, shards))
+	if err != nil {
+		panic(err)
+	}
+	return dep, codes, ds
+}
+
+func quietOpts(o Options) Options {
+	o.Logf = func(string, ...any) {}
+	return o
+}
+
+func TestShardedIndexMatchesSerialScan(t *testing.T) {
+	_, codes, _ := testDeployment("v", 500, 16, 16, 1, 1)
+	queries := retrieval.NewCodes(30, 16)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < queries.N; i++ {
+		queries.SetWord64(i, rng.Uint64()&0xFFFF)
+	}
+	for _, shards := range []int{1, 3, 7, 16} {
+		ix := NewShardedIndex(codes, shards)
+		for qi := 0; qi < queries.N; qi++ {
+			q := queries.Code(qi)
+			want := retrieval.TopKHammingDist(codes, q, 25)
+			got := ix.Search(q, 25)
+			if len(got) != len(want) {
+				t.Fatalf("shards=%d query %d: %d results, want %d", shards, qi, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("shards=%d query %d rank %d: %+v != %+v", shards, qi, i, got[i], want[i])
+				}
+			}
+		}
+		batch := ix.SearchBatch(queries, 25, 4)
+		for qi := 0; qi < queries.N; qi++ {
+			want := ix.Search(queries.Code(qi), 25)
+			for i := range want {
+				if batch[qi][i] != want[i] {
+					t.Fatalf("SearchBatch shards=%d query %d differs", shards, qi)
+				}
+			}
+		}
+	}
+}
+
+func TestServerEndToEndHTTP(t *testing.T) {
+	dep, codes, ds := testDeployment("v1", 400, 8, 16, 4, 3)
+	s := New(dep, quietOpts(Options{ShadowRate: -1}))
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(path, body string) (int, []byte) {
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp.StatusCode, buf.Bytes()
+	}
+
+	// Vector query: encode-and-search must equal the oracle scan of h(x).
+	x := ds.Point(7, nil)
+	vecBody, _ := json.Marshal(map[string]any{"vector": x, "k": 5})
+	status, body := post("/v1/search", string(vecBody))
+	if status != 200 {
+		t.Fatalf("vector search: status %d: %s", status, body)
+	}
+	var sr searchResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Model != "v1" {
+		t.Fatalf("served by %q, want v1", sr.Model)
+	}
+	q := dep.Model.Encode(onePoint{x}).Code(0)
+	want := retrieval.TopKHammingDist(codes, q, 5)
+	if len(sr.Neighbors) != len(want) {
+		t.Fatalf("%d neighbors, want %d", len(sr.Neighbors), len(want))
+	}
+	for i, n := range sr.Neighbors {
+		if n.Index != want[i].Index || n.Dist != want[i].Dist {
+			t.Fatalf("neighbor %d: %+v want %+v", i, n, want[i])
+		}
+	}
+
+	// Raw-code query for the same code must agree.
+	codeBody, _ := json.Marshal(map[string]any{"code": FormatCode(q), "k": 5})
+	status, body = post("/v1/search", string(codeBody))
+	if status != 200 {
+		t.Fatalf("code search: status %d: %s", status, body)
+	}
+	var sr2 searchResponse
+	json.Unmarshal(body, &sr2)
+	if len(sr2.Neighbors) != len(sr.Neighbors) {
+		t.Fatal("raw-code search disagrees with vector search")
+	}
+	for i := range sr.Neighbors {
+		if sr.Neighbors[i] != sr2.Neighbors[i] {
+			t.Fatal("raw-code search disagrees with vector search")
+		}
+	}
+
+	// Health and stats.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("healthz: %v %v", err, resp)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if st.Queries != 2 || st.LiveVersion != "v1" || st.IndexN != 400 || st.IndexShards != 4 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// onePoint adapts a single vector to sgd.Points.
+type onePoint struct{ x []float64 }
+
+func (p onePoint) NumPoints() int { return 1 }
+func (p onePoint) Point(i int, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, len(p.x))
+	}
+	copy(dst, p.x)
+	return dst
+}
+
+func TestServerValidation(t *testing.T) {
+	dep, _, _ := testDeployment("v1", 100, 8, 16, 2, 4)
+	s := New(dep, quietOpts(Options{MaxK: 50}))
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"bad json", `{`, 400},
+		{"empty", `{}`, 400},
+		{"both vector and code", `{"vector":[1,2,3,4,5,6,7,8],"code":["0x1"]}`, 400},
+		{"negative k", `{"code":["0x1"],"k":-1}`, 400},
+		{"k over max", `{"code":["0x1"],"k":51}`, 400},
+		{"wrong vector dims", `{"vector":[1,2,3]}`, 400},
+		{"wrong code width", `{"code":["0x1","0x2"]}`, 400},
+		{"bits above L", `{"code":["0x10000"]}`, 400},
+		{"non-hex code", `{"code":["zz"]}`, 400},
+		{"valid raw code", `{"code":["0xffff"]}`, 200},
+		{"valid k at max", `{"code":["0x1"],"k":50}`, 200},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(ts.URL+"/v1/search", "application/json", bytes.NewBufferString(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: status %d, want %d", c.name, resp.StatusCode, c.want)
+		}
+	}
+}
+
+func TestHotSwapUnderLoad(t *testing.T) {
+	depA, codesA, _ := testDeployment("a", 300, 8, 16, 2, 5)
+	depB, codesB, _ := testDeployment("b", 350, 8, 16, 3, 6)
+	oracle := map[string]*retrieval.Codes{"a": codesA, "b": codesB}
+
+	s := New(depA, quietOpts(Options{ShadowRate: -1}))
+	defer s.Close()
+
+	const clients, perClient = 8, 60
+	var wrong, failed atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var sawB atomic.Bool
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			for i := 0; i < perClient; i++ {
+				q := []uint64{rng.Uint64() & 0xFFFF}
+				rs, err := s.Search(Query{Code: q, K: 7})
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				if rs.Version == "b" {
+					sawB.Store(true)
+				}
+				// The response must be internally consistent: exactly the
+				// oracle scan of whichever version served it.
+				want := retrieval.TopKHammingDist(oracle[rs.Version], q, 7)
+				if len(rs.Neighbors) != len(want) {
+					wrong.Add(1)
+					continue
+				}
+				for j := range want {
+					if rs.Neighbors[j] != want[j] {
+						wrong.Add(1)
+						break
+					}
+				}
+			}
+		}(c)
+	}
+	// Swap back and forth while the clients hammer.
+	go func() {
+		deps := []*Deployment{depB, depA}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				s.Swap(deps[i%2])
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	if failed.Load() != 0 {
+		t.Fatalf("%d searches failed during hot swap", failed.Load())
+	}
+	if wrong.Load() != 0 {
+		t.Fatalf("%d responses inconsistent with their deployment", wrong.Load())
+	}
+	if !sawB.Load() {
+		t.Log("warning: no request observed deployment b (swap raced ahead)")
+	}
+	if st := s.Stats(); st.Queries != clients*perClient {
+		t.Fatalf("stats counted %d queries, want %d", st.Queries, clients*perClient)
+	}
+}
+
+func TestMicroBatchCoalescing(t *testing.T) {
+	dep, _, _ := testDeployment("v1", 2000, 8, 16, 2, 7)
+	s := New(dep, quietOpts(Options{MaxBatch: 8, MaxDelay: 500 * time.Millisecond, ShadowRate: -1}))
+	defer s.Close()
+
+	// 8 concurrent requests with a generous hold window must coalesce into
+	// one batch: the batcher waits for stragglers and flushes at MaxBatch.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := s.Search(Query{Code: []uint64{uint64(i)}, K: 3}); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Batches != 1 || st.Queries != 8 {
+		t.Fatalf("expected one batch of 8, got %d batches / %d queries", st.Batches, st.Queries)
+	}
+
+	// An under-filled batch must flush at the deadline, not hang.
+	start := time.Now()
+	if _, err := s.Search(Query{Code: []uint64{1}, K: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("lone request took %v; deadline flush broken", elapsed)
+	}
+}
+
+func TestWorkConservingFlushDoesNotWait(t *testing.T) {
+	dep, _, _ := testDeployment("v1", 2000, 8, 16, 2, 8)
+	s := New(dep, quietOpts(Options{MaxDelay: 0, ShadowRate: -1}))
+	defer s.Close()
+	start := time.Now()
+	for i := 0; i < 20; i++ {
+		if _, err := s.Search(Query{Code: []uint64{uint64(i)}, K: 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 20 sequential single-stream queries over 2000 codes: with a
+	// work-conserving batcher this is well under a second; any per-request
+	// hold would show up immediately.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("single-stream latency suggests the batcher is holding: %v", elapsed)
+	}
+}
+
+func TestShadowAgreementAndPromote(t *testing.T) {
+	dep, _, ds := testDeployment("live", 300, 8, 16, 2, 9)
+	s := New(dep, quietOpts(Options{ShadowRate: 1}))
+	defer s.Close()
+
+	// Identical candidate: agreement must be exactly 1.
+	twin, err := NewDeployment("twin", dep.Model.Clone(), dep.Index)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetShadow(twin)
+	for i := 0; i < 20; i++ {
+		if _, err := s.Search(Query{Vector: ds.Point(i, nil), K: 5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.shadowWG.Wait()
+	st := s.Stats()
+	if st.ShadowQueries != 20 {
+		t.Fatalf("shadow saw %d queries, want 20", st.ShadowQueries)
+	}
+	if st.ShadowAgreement < 0.999 {
+		t.Fatalf("identical shadow agreement %v, want 1", st.ShadowAgreement)
+	}
+
+	// A different candidate model: agreement is measured, then promoted.
+	cand, codes2, _ := testDeployment("cand", 300, 8, 16, 2, 10)
+	_ = codes2
+	s.SetShadow(cand)
+	if got := s.Stats().ShadowQueries; got != 0 {
+		t.Fatalf("SetShadow must reset counters, got %d", got)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := s.Search(Query{Vector: ds.Point(i, nil), K: 5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.shadowWG.Wait()
+	if got := s.Stats().ShadowQueries; got != 10 {
+		t.Fatalf("shadow saw %d queries, want 10", got)
+	}
+	promoted, err := s.PromoteShadow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if promoted.Version != "cand" || version(s.Live()) != "cand" || s.Shadow() != nil {
+		t.Fatalf("promote: live=%q shadow=%v", version(s.Live()), s.Shadow())
+	}
+	if _, err := s.PromoteShadow(); err == nil {
+		t.Fatal("second promote should fail: no shadow")
+	}
+}
+
+func TestSwapAndShadowOverHTTP(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, n, d, l int, seed int64) (string, string) {
+		ds := dataset.GISTLike(n, d, 4, seed)
+		m := testModel(d, l, seed+50)
+		codes := m.Encode(ds)
+		ip := filepath.Join(dir, name+".idx")
+		mp := filepath.Join(dir, name+".json")
+		fi, _ := os.Create(ip)
+		if err := codes.Save(fi); err != nil {
+			t.Fatal(err)
+		}
+		fi.Close()
+		fm, _ := os.Create(mp)
+		if err := m.Save(fm); err != nil {
+			t.Fatal(err)
+		}
+		fm.Close()
+		return ip, mp
+	}
+	ip1, mp1 := write("v1", 120, 8, 16, 11)
+	ip2, mp2 := write("v2", 140, 8, 16, 12)
+
+	dep, err := LoadDeployment("v1", ip1, mp1, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(dep, quietOpts(Options{Shards: 2, ShadowRate: 1}))
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(path, body string) (int, map[string]string) {
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		out := map[string]string{}
+		json.NewDecoder(resp.Body).Decode(&out)
+		return resp.StatusCode, out
+	}
+
+	// Shadow v2, then promote it.
+	status, out := post("/v1/shadow", fmt.Sprintf(`{"version":"v2","index":%q,"model":%q}`, ip2, mp2))
+	if status != 200 || out["shadow"] != "v2" {
+		t.Fatalf("shadow: %d %v", status, out)
+	}
+	status, out = post("/v1/promote", `{}`)
+	if status != 200 || out["live"] != "v2" {
+		t.Fatalf("promote: %d %v", status, out)
+	}
+	if st := s.Stats(); st.LiveVersion != "v2" || st.IndexN != 140 {
+		t.Fatalf("after promote: %+v", st)
+	}
+
+	// Swap straight back to v1 via the admin endpoint.
+	status, out = post("/v1/swap", fmt.Sprintf(`{"version":"v1","index":%q,"model":%q}`, ip1, mp1))
+	if status != 200 || out["live"] != "v1" || out["previous"] != "v2" {
+		t.Fatalf("swap: %d %v", status, out)
+	}
+
+	// A bad index path must not disturb the live deployment.
+	status, _ = post("/v1/swap", `{"version":"x","index":"/nonexistent"}`)
+	if status != 400 {
+		t.Fatalf("swap with bad path: status %d", status)
+	}
+	if version(s.Live()) != "v1" {
+		t.Fatal("failed swap replaced the live deployment")
+	}
+}
+
+func TestDeploymentModelIndexMismatch(t *testing.T) {
+	m := testModel(8, 16, 13)
+	codes := retrieval.NewCodes(10, 24)
+	if _, err := NewDeployment("x", m, NewShardedIndex(codes, 1)); err == nil {
+		t.Fatal("expected L mismatch error")
+	}
+}
+
+func TestSearchAfterClose(t *testing.T) {
+	dep, _, _ := testDeployment("v1", 100, 8, 16, 1, 14)
+	s := New(dep, quietOpts(Options{}))
+	s.Close()
+	if _, err := s.Search(Query{Code: []uint64{1}, K: 3}); err != ErrClosed {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+	s.Close() // second Close must be a no-op, not a panic
+}
+
+func TestRawCodeOnlyDeployment(t *testing.T) {
+	_, codes, _ := testDeployment("v1", 100, 8, 16, 1, 15)
+	dep, err := NewDeployment("raw", nil, NewShardedIndex(codes, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(dep, quietOpts(Options{}))
+	defer s.Close()
+	if _, err := s.Search(Query{Vector: make([]float64, 8), K: 3}); err == nil {
+		t.Fatal("vector query against model-less deployment should fail")
+	}
+	rs, err := s.Search(Query{Code: []uint64{0xABCD}, K: 3})
+	if err != nil || len(rs.Neighbors) != 3 {
+		t.Fatalf("raw code query: %v %v", err, rs)
+	}
+}
