@@ -108,8 +108,9 @@ func main() {
 		f, err := os.Open(o.load)
 		fatalIf(err)
 		model, err = binauto.Load(f)
-		f.Close()
+		closeErr := f.Close()
 		fatalIf(err)
+		fatalIf(closeErr)
 		fmt.Printf("loaded model: L=%d D=%d\n", model.L(), model.D())
 	} else {
 		switch o.transport {
@@ -151,8 +152,9 @@ func buildDatasets(o *options) (ds, qs *dataset.Dataset) {
 		f, err := os.Open(o.csvPath)
 		fatalIf(err)
 		full, err := dataset.LoadCSV(f)
-		f.Close()
+		closeErr := f.Close()
 		fatalIf(err)
+		fatalIf(closeErr)
 		if full.N <= o.queries {
 			fatalIf(fmt.Errorf("csv has %d rows; need more than %d", full.N, o.queries))
 		}
@@ -232,7 +234,9 @@ func trainTCP(o *options, ds *dataset.Dataset) *binauto.Model {
 	}
 
 	eng.Shutdown()
-	comm.Close()
+	if err := comm.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "warning: close transport:", err)
+	}
 	// Workers say bye once they have drained the shutdown; only then may the
 	// hub die with the coordinator process.
 	if err := hub.Wait(30 * time.Second); err != nil {
@@ -296,7 +300,9 @@ func runWorker(o *options) {
 	core.RunWorker(comm, prob, o.rank, core.WorkerOptions{
 		Seed: core.WorkerSeed(o.seed, o.rank),
 	})
-	comm.Close()
+	if err := comm.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "warning: close transport:", err)
+	}
 }
 
 func fatalIf(err error) {

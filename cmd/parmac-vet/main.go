@@ -1,0 +1,74 @@
+// parmac-vet runs the project's invariant analyzers (internal/analysis) over
+// package patterns, go-vet style. It is the CI gate that keeps the
+// concurrency, determinism, and input-hardening conventions of the parallel
+// training/serving stack from rotting as call sites multiply.
+//
+// Usage:
+//
+//	parmac-vet ./...                      # whole tree (the CI invocation)
+//	parmac-vet -run clampworkers ./...    # one analyzer
+//	parmac-vet -list                      # catalogue with one-line docs
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 load/usage error.
+// Suppress a false positive with a trailing comment on the flagged line:
+//
+//	//parmac:vet ignore=<analyzer> <why the invariant holds anyway>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	run := flag.String("run", "", "comma-separated analyzer names (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := analysis.All()
+	if *run != "" {
+		var err error
+		if analyzers, err = analysis.ByName(strings.Split(*run, ",")); err != nil {
+			fmt.Fprintln(os.Stderr, "parmac-vet:", err)
+			os.Exit(2)
+		}
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "parmac-vet:", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.Load(wd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "parmac-vet:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "parmac-vet:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "parmac-vet: %d issue(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

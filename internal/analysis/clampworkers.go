@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ClampWorkersAnalyzer enforces the worker-sizing invariant from PR 4: a
+// caller-supplied worker count must pass through core.ClampWorkers or
+// core.Cores before it reaches core.ParallelChunks or bounds a
+// goroutine-spawning loop. Raw knob values are legal inputs (-1 means every
+// core, 0 means serial), so handing one straight to a pool either spawns a
+// nonsense goroutine count or silently serialises; the clamp helpers are
+// where that contract lives.
+var ClampWorkersAnalyzer = &Analyzer{
+	Name: "clampworkers",
+	Doc: "caller-supplied worker counts must be resolved by core.ClampWorkers " +
+		"or core.Cores before spawning goroutines or entering core.ParallelChunks",
+	Run: runClampWorkers,
+}
+
+// workerParamNames are the identifier names the goroutine-loop check treats
+// as worker-count knobs when they appear as function parameters.
+var workerParamNames = map[string]bool{
+	"workers": true, "nworkers": true, "numWorkers": true, "nWorkers": true,
+	"cores": true, "ncores": true, "numCores": true,
+}
+
+func runClampWorkers(pass *Pass) error {
+	for _, file := range pass.AllTyped() {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// Resolution and inspection both span the whole declaration,
+			// nested closures included: objects are matched by identity, so a
+			// count clamped in the enclosing function stays resolved inside a
+			// closure that captures it.
+			resolved := clampResolvedObjects(pass, fd.Body)
+			safe := func(e ast.Expr) bool { return clampSafeExpr(pass, e, resolved) }
+
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch s := n.(type) {
+				case *ast.CallExpr:
+					f := calleeFunc(pass.Info, s)
+					if isPkgFunc(f, "core", "ParallelChunks") && len(s.Args) >= 2 && !safe(s.Args[1]) {
+						pass.Reportf(s.Args[1].Pos(),
+							"worker count %q reaches core.ParallelChunks without core.ClampWorkers/core.Cores",
+							types.ExprString(s.Args[1]))
+					}
+				case *ast.ForStmt:
+					if bound := goLoopWorkerBound(pass, fd, s); bound != nil && !safe(bound) {
+						pass.Reportf(bound.Pos(),
+							"goroutine loop bounded by raw worker count %q; resolve it with core.ClampWorkers/core.Cores first",
+							types.ExprString(bound))
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// clampResolvedObjects computes the set of objects in one function body that
+// are known to hold a resolved worker count: assigned (anywhere in the body)
+// from core.ClampWorkers/core.Cores, from a constant, or from another
+// resolved object. Optimistic any-assignment semantics — a count that was
+// clamped once and then capped further still counts as resolved.
+func clampResolvedObjects(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	resolved := map[types.Object]bool{}
+	for {
+		changed := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.Info.Defs[id]
+				if obj == nil {
+					obj = pass.Info.Uses[id]
+				}
+				if obj == nil || resolved[obj] {
+					continue
+				}
+				if clampSafeExpr(pass, as.Rhs[i], resolved) {
+					resolved[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+		if !changed {
+			return resolved
+		}
+	}
+}
+
+// clampSafeExpr reports whether e is an acceptable worker count: a constant,
+// a direct call to the clamp helpers, or a resolved identifier.
+func clampSafeExpr(pass *Pass, e ast.Expr, resolved map[types.Object]bool) bool {
+	e = ast.Unparen(e)
+	if tv, ok := pass.Info.Types[e]; ok && tv.Value != nil {
+		return true
+	}
+	switch x := e.(type) {
+	case *ast.CallExpr:
+		f := calleeFunc(pass.Info, x)
+		return isPkgFunc(f, "core", "ClampWorkers") || isPkgFunc(f, "core", "Cores")
+	case *ast.Ident:
+		if obj := pass.Info.Uses[x]; obj != nil {
+			return resolved[obj]
+		}
+	}
+	return false
+}
+
+// goLoopWorkerBound returns the loop bound expression when s is a for loop
+// of the shape `for i := 0; i < workers; i++ { … go … }` whose bound is a
+// parameter of the enclosing function named like a worker knob.
+func goLoopWorkerBound(pass *Pass, fn ast.Node, s *ast.ForStmt) ast.Expr {
+	if s.Cond == nil {
+		return nil
+	}
+	cmp, ok := s.Cond.(*ast.BinaryExpr)
+	if !ok || (cmp.Op != token.LSS && cmp.Op != token.LEQ) {
+		return nil
+	}
+	id, ok := ast.Unparen(cmp.Y).(*ast.Ident)
+	if !ok || !workerParamNames[id.Name] {
+		return nil
+	}
+	v, ok := pass.Info.Uses[id].(*types.Var)
+	if !ok || !isParamOf(fn, v) {
+		return nil
+	}
+	spawns := false
+	ast.Inspect(s.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			spawns = true
+		}
+		return !spawns
+	})
+	if !spawns {
+		return nil
+	}
+	return cmp.Y
+}
+
+// isParamOf reports whether v is declared in fn's signature (parameters or
+// named results), by position.
+func isParamOf(fn ast.Node, v *types.Var) bool {
+	var sig *ast.FuncType
+	switch f := fn.(type) {
+	case *ast.FuncDecl:
+		sig = f.Type
+	case *ast.FuncLit:
+		sig = f.Type
+	default:
+		return false
+	}
+	return v.Pos() >= sig.Pos() && v.Pos() <= sig.End()
+}

@@ -1,0 +1,186 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// The loader turns package patterns into type-checked syntax using only the
+// Go toolchain: one `go list -export -deps -test` walk yields, for every
+// dependency (including test-only ones such as testing), the export-data
+// file the build cache already holds, and go/types checks the target
+// packages from source against those exports. This is the slice of
+// golang.org/x/tools/go/packages the analyzers actually need, without the
+// dependency.
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File // GoFiles, type-checked
+	TestFiles  []*ast.File // TestGoFiles, type-checked together with Files
+	XTestFiles []*ast.File // XTestGoFiles, parsed only
+	Pkg        *types.Package
+	Info       *types.Info
+	Sources    map[*ast.File][]byte
+}
+
+// listedPackage is the subset of `go list -json` output the loader consumes.
+type listedPackage struct {
+	ImportPath   string
+	ForTest      string
+	Dir          string
+	Export       string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Error        *struct{ Err string }
+}
+
+// goList runs the go tool in dir and decodes its -json package stream.
+func goList(dir string, args ...string) ([]*listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v\n%s",
+			strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decode go list output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// Load type-checks the packages matching patterns (resolved relative to dir,
+// like the go tool) and returns them in listing order. Explicit directory
+// patterns may name packages under testdata — that is how analyzer fixtures
+// are loaded.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	targets, err := goList(dir, append([]string{"-json=ImportPath"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	// One walk with -deps -test surfaces export data for everything any
+	// target or its test files import. Test variants ("pkg [pkg.test]")
+	// shadow nothing: only plain import paths enter the export map.
+	deps, err := goList(dir, append([]string{"-export", "-deps", "-test", "-json"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	meta := map[string]*listedPackage{}
+	for _, p := range deps {
+		if p.ForTest != "" || strings.Contains(p.ImportPath, " ") {
+			continue
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		meta[p.ImportPath] = p
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		e, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(e)
+	})
+
+	var out []*Package
+	for _, t := range targets {
+		p := meta[t.ImportPath]
+		if p == nil {
+			return nil, fmt.Errorf("analysis: %q listed but not resolved", t.ImportPath)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		lp, err := typeCheck(fset, imp, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}
+
+// typeCheck parses and checks one listed package. In-package test files are
+// checked together with the package sources; their extra imports are covered
+// by the -test dependency walk whenever the package has a test binary.
+func typeCheck(fset *token.FileSet, imp types.Importer, p *listedPackage) (*Package, error) {
+	lp := &Package{
+		ImportPath: p.ImportPath,
+		Dir:        p.Dir,
+		Fset:       fset,
+		Sources:    map[*ast.File][]byte{},
+	}
+	parse := func(names []string) ([]*ast.File, error) {
+		var files []*ast.File
+		for _, name := range names {
+			path := filepath.Join(p.Dir, name)
+			src, err := os.ReadFile(path)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: %v", err)
+			}
+			f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: %v", err)
+			}
+			lp.Sources[f] = src
+			files = append(files, f)
+		}
+		return files, nil
+	}
+	var err error
+	if lp.Files, err = parse(p.GoFiles); err != nil {
+		return nil, err
+	}
+	if lp.TestFiles, err = parse(p.TestGoFiles); err != nil {
+		return nil, err
+	}
+	if lp.XTestFiles, err = parse(p.XTestGoFiles); err != nil {
+		return nil, err
+	}
+
+	lp.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	all := append(append([]*ast.File{}, lp.Files...), lp.TestFiles...)
+	pkg, err := conf.Check(p.ImportPath, fset, all, lp.Info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-check %s: %v", p.ImportPath, err)
+	}
+	lp.Pkg = pkg
+	return lp, nil
+}

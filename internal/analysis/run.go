@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// ignoreDirective is the suppression marker: a comment of the form
+//
+//	//parmac:vet ignore=clampworkers[,floatorder] <reason>
+//
+// on the flagged line, or on the line directly above it, silences the named
+// analyzers for that line. The reason is free text but should say why the
+// invariant holds anyway.
+const ignoreDirective = "//parmac:vet ignore="
+
+// suppressions maps file -> line -> set of analyzer names silenced there.
+type suppressions map[string]map[int]map[string]bool
+
+func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
+	sup := suppressions{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, ignoreDirective)
+				if !ok {
+					continue
+				}
+				names, _, _ := strings.Cut(rest, " ")
+				pos := fset.Position(c.Pos())
+				byLine := sup[pos.Filename]
+				if byLine == nil {
+					byLine = map[int]map[string]bool{}
+					sup[pos.Filename] = byLine
+				}
+				for _, n := range strings.Split(names, ",") {
+					n = strings.TrimSpace(n)
+					if n == "" {
+						continue
+					}
+					// The directive covers its own line and the next one, so
+					// it works both trailing and as a lead-in comment.
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						if byLine[line] == nil {
+							byLine[line] = map[string]bool{}
+						}
+						byLine[line][n] = true
+					}
+				}
+			}
+		}
+	}
+	return sup
+}
+
+func (s suppressions) covers(pos token.Position, analyzer string) bool {
+	byLine := s[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	return byLine[pos.Line][analyzer]
+}
+
+// Run executes every analyzer over every package and returns the surviving
+// diagnostics sorted by position. Analyzer errors abort the run: a check that
+// cannot run is a broken gate, not a clean one.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		parsed := append(append(append([]*ast.File{}, pkg.Files...),
+			pkg.TestFiles...), pkg.XTestFiles...)
+		sup := collectSuppressions(pkg.Fset, parsed)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       pkg.Fset,
+				Files:      pkg.Files,
+				TestFiles:  pkg.TestFiles,
+				XTestFiles: pkg.XTestFiles,
+				Pkg:        pkg.Pkg,
+				Info:       pkg.Info,
+				Src:        func(f *ast.File) []byte { return pkg.Sources[f] },
+			}
+			pass.report = func(d Diagnostic) {
+				d.Analyzer = a.Name
+				d.Position = pkg.Fset.Position(d.Pos)
+				if sup.covers(d.Position, a.Name) {
+					return
+				}
+				all = append(all, d)
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		pi, pj := all[i].Position, all[j].Position
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return all[i].Analyzer < all[j].Analyzer
+	})
+	return all, nil
+}

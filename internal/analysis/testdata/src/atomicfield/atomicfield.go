@@ -1,0 +1,32 @@
+// Package atomicfield is the parmac-vet fixture for the atomicfield
+// analyzer: once any code path accesses a struct field through sync/atomic,
+// every access to that field must be atomic.
+package atomicfield
+
+import "sync/atomic"
+
+type stats struct {
+	hits  int64 // accessed via sync/atomic below
+	plain int64 // never touched atomically
+}
+
+func (s *stats) bump() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+func (s *stats) snapshot() int64 {
+	return atomic.LoadInt64(&s.hits)
+}
+
+func (s *stats) torn() int64 {
+	return s.hits // want `plain access to field stats.hits`
+}
+
+func (s *stats) lost() {
+	s.hits = 0 // want `plain access to field stats.hits`
+}
+
+func (s *stats) unrelated() int64 {
+	s.plain++
+	return s.plain
+}

@@ -1,0 +1,68 @@
+// Package boundedmake is the parmac-vet fixture for the boundedmake
+// analyzer: an allocation sized by a decoded or request-supplied value needs
+// a bound check against a budget first (the hardened LoadCodes pattern).
+package boundedmake
+
+import (
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"strconv"
+)
+
+const maxElems = 1 << 20
+
+func unbounded(dec *gob.Decoder) ([]float64, error) {
+	var n int
+	if err := dec.Decode(&n); err != nil {
+		return nil, err
+	}
+	return make([]float64, n), nil // want `make sized by "n", which flows from decoded input`
+}
+
+func bounded(dec *gob.Decoder) ([]float64, error) {
+	var n int
+	if err := dec.Decode(&n); err != nil {
+		return nil, err
+	}
+	if n < 0 || n > maxElems {
+		return nil, errors.New("header out of budget")
+	}
+	return make([]float64, n), nil
+}
+
+func unboundedHeader(b []byte) []byte {
+	n := binary.LittleEndian.Uint32(b)
+	return make([]byte, n) // want `make sized by "n", which flows from decoded input`
+}
+
+// taintThroughArithmetic follows the value through assignments and
+// conversions: words derives from the decoded count.
+func taintThroughArithmetic(dec *gob.Decoder) ([]uint64, error) {
+	var rows int
+	if err := dec.Decode(&rows); err != nil {
+		return nil, err
+	}
+	words := (rows + 63) / 64
+	return make([]uint64, words), nil // want `make sized by "words", which flows from decoded input`
+}
+
+func boundedByMin(b []byte) []byte {
+	n := int(binary.LittleEndian.Uint32(b))
+	return make([]byte, min(n, maxElems))
+}
+
+// lenOfPayload is bounded by the bytes actually received, so it never taints.
+func lenOfPayload(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+func parsedButChecked(s string) ([]int, error) {
+	k, err := strconv.Atoi(s)
+	if err != nil || k <= 0 || k > maxElems {
+		return nil, errors.New("bad k")
+	}
+	return make([]int, k), nil
+}

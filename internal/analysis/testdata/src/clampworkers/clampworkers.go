@@ -1,0 +1,65 @@
+// Package clampworkers is the parmac-vet fixture for the clampworkers
+// analyzer: caller-supplied worker counts must be resolved by
+// core.ClampWorkers or core.Cores before reaching core.ParallelChunks or
+// bounding a goroutine-spawning loop.
+package clampworkers
+
+import "repro/internal/core"
+
+func rawCount(n, workers int) {
+	core.ParallelChunks(n, workers, func(w, lo, hi int) {}) // want `worker count "workers" reaches core.ParallelChunks`
+}
+
+func inlineClamp(n, workers int) {
+	core.ParallelChunks(n, core.ClampWorkers(n, workers), func(w, lo, hi int) {})
+}
+
+func inlineCores(n, workers int) {
+	core.ParallelChunks(n, core.Cores(workers), func(w, lo, hi int) {})
+}
+
+func resolvedOnce(n, workers int) {
+	workers = core.ClampWorkers(n, workers)
+	core.ParallelChunks(n, workers, func(w, lo, hi int) {})
+}
+
+// resolvedBeforeCapture shows object-identity tracking: a count clamped in
+// the enclosing function stays resolved inside a closure that captures it.
+func resolvedBeforeCapture(n, workers int) {
+	w := core.Cores(workers)
+	run := func() {
+		core.ParallelChunks(n, w, func(w, lo, hi int) {})
+	}
+	run()
+}
+
+func constantCount(n int) {
+	core.ParallelChunks(n, 4, func(w, lo, hi int) {})
+}
+
+func rawGoLoop(workers int, ch chan int) {
+	for i := 0; i < workers; i++ { // want `goroutine loop bounded by raw worker count "workers"`
+		go func() { ch <- i }()
+	}
+}
+
+func resolvedGoLoop(workers int, ch chan int) {
+	workers = core.Cores(workers)
+	for i := 0; i < workers; i++ {
+		go func() { ch <- i }()
+	}
+}
+
+// plainLoop spawns nothing, so the bound does not need resolving.
+func plainLoop(workers int) int {
+	s := 0
+	for i := 0; i < workers; i++ {
+		s += i
+	}
+	return s
+}
+
+func suppressed(n, workers int) {
+	//parmac:vet ignore=clampworkers fixture exercising the suppression directive
+	core.ParallelChunks(n, workers, func(w, lo, hi int) {})
+}

@@ -1,0 +1,31 @@
+// Package binauto (under testdata/src/detrand) is the parmac-vet fixture for
+// the detrand analyzer: the package base name matches a deterministic-kernel
+// package, so global math/rand functions and time.Now are banned here.
+package binauto
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalDraw() int {
+	return rand.Intn(10) // want `global rand.Intn in deterministic kernel package binauto`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global rand.Shuffle in deterministic kernel package binauto`
+}
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time.Now in deterministic kernel package binauto`
+}
+
+// injected is the sanctioned pattern: a seeded *rand.Rand passed in, with
+// constructors rand.New/rand.NewSource explicitly allowed.
+func injected(rng *rand.Rand) int {
+	return rng.Intn(10)
+}
+
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,18 @@
+// Package gobwire is the parmac-vet fixture for the gobwire analyzer: every
+// locally declared type passed to gob.Register must be referenced by a
+// golden-file decode test in the same package.
+package gobwire
+
+import "encoding/gob"
+
+// Covered is referenced by the golden test in wire_test.go.
+type Covered struct{ A int }
+
+// Uncovered has no golden test pinning its byte format.
+type Uncovered struct{ B int }
+
+func init() {
+	gob.Register(Covered{})
+	gob.Register(&Uncovered{}) // want `wire type Uncovered is gob-registered but no golden-file decode test references it`
+	gob.Register(int(0))       // builtin registrations are not a local wire contract
+}

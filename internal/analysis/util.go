@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Shared AST/type helpers for the analyzers.
+
+// calleeFunc resolves the *types.Func a call invokes, through selectors and
+// parentheses. Nil for builtins, conversions, and calls through variables.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// isPkgFunc reports whether f is the package-level function pkgSuffix.name,
+// where pkgSuffix matches the defining package's import path exactly or as a
+// trailing "/…" component (so "core" matches both repro/internal/core and a
+// fixture's local core package).
+func isPkgFunc(f *types.Func, pkgSuffix, name string) bool {
+	if f == nil || f.Name() != name || f.Pkg() == nil {
+		return false
+	}
+	// Methods are not package-level functions.
+	if f.Type().(*types.Signature).Recv() != nil {
+		return false
+	}
+	return pathMatches(f.Pkg().Path(), pkgSuffix)
+}
+
+func pathMatches(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// rootObject follows an lvalue expression to the object its storage is
+// rooted in: a[i].f -> a, (*p).x -> p. Nil when the root is not a plain
+// identifier (a function call result, for example).
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if o := info.Uses[x]; o != nil {
+				return o
+			}
+			return info.Defs[x]
+		case *ast.SelectorExpr:
+			// pkg.Name roots in the named object; expr.field roots in expr.
+			if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+				if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+					return info.Uses[x.Sel]
+				}
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isFloat reports whether t's core type is a floating-point scalar.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

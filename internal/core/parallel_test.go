@@ -22,6 +22,7 @@ func TestParallelChunksCoversRangeExactlyOnce(t *testing.T) {
 		{0, 4}, {1, 4}, {7, 3}, {100, 1}, {100, 7}, {5, 100},
 	} {
 		seen := make([]int32, tc.n)
+		//parmac:vet ignore=clampworkers exercising the pool directly with fixed table counts
 		ParallelChunks(tc.n, tc.workers, func(w, lo, hi int) {
 			if w < 0 || (tc.n > 0 && w >= tc.workers && tc.workers > 0) {
 				t.Errorf("n=%d workers=%d: worker index %d out of range", tc.n, tc.workers, w)

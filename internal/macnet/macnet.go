@@ -440,7 +440,7 @@ func TrainUnitsPassParallel(n *Net, xs *vec.Matrix, c *Coords, order []int, eta 
 			hidden = append(hidden, u)
 		}
 	}
-	core.ParallelChunks(len(hidden), workers, func(_, lo, hi int) {
+	core.ParallelChunks(len(hidden), core.Cores(workers), func(_, lo, hi int) {
 		for _, u := range hidden[lo:hi] {
 			for _, i := range order {
 				in := xs.Row(i)
@@ -458,7 +458,7 @@ func TrainUnitsPassParallel(n *Net, xs *vec.Matrix, c *Coords, order []int, eta 
 func TrainOutputPassParallel(n *Net, ys *vec.Matrix, c *Coords, order []int, eta float64, workers int) {
 	k := n.K()
 	w := n.Ws[k]
-	core.ParallelChunks(w.Rows, workers, func(_, lo, hi int) {
+	core.ParallelChunks(w.Rows, core.Cores(workers), func(_, lo, hi int) {
 		for j := lo; j < hi; j++ {
 			u := UnitRef{k, j}
 			for _, i := range order {

@@ -3,7 +3,12 @@ package macnet
 import (
 	"bytes"
 	"encoding/gob"
+	"encoding/hex"
+	"flag"
+	"os"
+	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -38,5 +43,47 @@ func TestUnitSubDecodeRejectsEmpty(t *testing.T) {
 	var u unitSub
 	if err := u.GobDecode(buf.Bytes()); err == nil {
 		t.Fatal("weightless unit must not decode")
+	}
+}
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestUnitSubWireGolden decodes unit-submodel bytes committed when the wire
+// format was defined (binauto/serialize_test.go convention): decodability of
+// old bytes is the compatibility the TCP fabric depends on. -update
+// re-captures the current encoding; flag any regeneration in the PR.
+func TestUnitSubWireGolden(t *testing.T) {
+	want := &unitSub{
+		id:  4,
+		ref: UnitRef{Layer: 1, Unit: 2},
+		w:   []float64{0.5, -1, 0.25, 2},
+		k:   2,
+		eta: 0.3,
+	}
+	path := filepath.Join("testdata", "unit_sub.golden.hex")
+	if *update {
+		raw, err := want.GobEncode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(hex.EncodeToString(raw)+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	hexBytes, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test -run %s -update): %v", t.Name(), err)
+	}
+	raw, err := hex.DecodeString(strings.TrimSpace(string(hexBytes)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := &unitSub{}
+	if err := got.GobDecode(raw); err != nil {
+		t.Fatalf("committed wire bytes no longer decode — the format drifted incompatibly: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("committed wire bytes decode to different state:\ngot  %#v\nwant %#v", got, want)
 	}
 }

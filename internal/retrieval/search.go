@@ -178,14 +178,14 @@ func AllTopKHammingDist(base, queries *Codes, k, workers int) [][]Neighbor {
 func TopKEuclidean(base sgd.Points, query []float64, k int) []int {
 	n := base.NumPoints()
 	k = clampK(k, n)
+	if k == 0 {
+		return []int{}
+	}
 	type cand struct {
 		idx  int
 		dist float64
 	}
 	buf := make([]cand, 0, k)
-	if k == 0 {
-		return []int{}
-	}
 	worst := -1.0
 	tmp := make([]float64, len(query))
 	for i := 0; i < n; i++ {

@@ -53,6 +53,35 @@ func TestTopKNonPositiveK(t *testing.T) {
 	}
 }
 
+// TestTopKCapsAtN pins the other half of the clampK contract: a k larger
+// than the base returns exactly N results, identically across the serial,
+// parallel, and Euclidean entry points.
+func TestTopKCapsAtN(t *testing.T) {
+	base := randomCodes(30, 32, 7)
+	q := randomCodes(1, 32, 8).Code(0)
+	for _, k := range []int{30, 31, 1000} {
+		serial := TopKHamming(base, q, k)
+		if len(serial) != base.N {
+			t.Fatalf("TopKHamming k=%d: got %d results, want %d", k, len(serial), base.N)
+		}
+		for _, workers := range []int{1, 4, -1} {
+			par := TopKHammingParallel(base, q, k, workers)
+			if len(par) != base.N {
+				t.Fatalf("TopKHammingParallel k=%d workers=%d: got %d results", k, workers, len(par))
+			}
+			for i := range serial {
+				if par[i] != serial[i] {
+					t.Fatalf("k=%d workers=%d rank %d: parallel %d, serial %d", k, workers, i, par[i], serial[i])
+				}
+			}
+		}
+	}
+	pts := pointsFromRows([][]float64{{0, 0}, {1, 1}, {2, 2}})
+	if got := TopKEuclidean(pts, []float64{0.1, 0.1}, 99); len(got) != 3 {
+		t.Fatalf("TopKEuclidean k>n: got %d results, want 3", len(got))
+	}
+}
+
 func TestTopKEuclideanNonPositiveK(t *testing.T) {
 	base := pointsFromRows([][]float64{{0, 0}, {1, 1}, {2, 2}})
 	for _, k := range []int{0, -1, -7} {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"strconv"
 )
@@ -90,7 +91,11 @@ func FormatCode(words []uint64) []string {
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The status line is already gone; all we can do is record the
+		// truncated response (usually a client that hung up mid-body).
+		log.Printf("serve: write response: %v", err)
+	}
 }
 
 func writeErr(w http.ResponseWriter, err error) {
