@@ -20,10 +20,22 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"strings"
 
 	"repro/internal/experiments"
 	"repro/internal/perf"
 )
+
+// gitRev best-effort resolves the current commit so BENCH_*.json files can be
+// lined up against git history. Outside a git checkout it stays empty.
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
 
 func main() {
 	exp := flag.String("exp", "", "experiment id (figN, tab1, tab-sift1b) or 'all'")
@@ -37,6 +49,7 @@ func main() {
 
 	if *jsonMode {
 		rep := perf.Collect(*label, *quick)
+		rep.GitRev = gitRev()
 		path, err := rep.Write(*outDir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
@@ -54,14 +67,18 @@ func main() {
 		for _, s := range rep.RetrievalSweep {
 			fmt.Printf("AllTopKHamming workers=%-2d %10.0f ns/op  speedup %.2fx\n", s.Workers, s.NsPerOp, s.SpeedupVsSerial)
 		}
+		for _, p := range rep.IndexSweep {
+			fmt.Printf("index %-6s N=%-8d k=%-4d %12.0f ns/op  vs linear %.2fx\n",
+				p.Index, p.N, p.K, p.NsPerOp, p.SpeedupVsLinear)
+		}
 		for _, sc := range rep.ServeScenarios {
 			switch sc.Scenario {
 			case "server":
-				fmt.Printf("serve %-13s target %7.0f qps  p50/p90/p99 %6.2f/%6.2f/%6.2f ms  met(p99<%gms)=%v\n",
-					sc.Scenario, sc.TargetQPS, sc.P50Ms, sc.P90Ms, sc.P99Ms, sc.P99Bound, sc.MetBound)
+				fmt.Printf("serve %-13s %-6s N=%-8d target %7.0f qps  p50/p90/p99 %6.2f/%6.2f/%6.2f ms  met(p99<%gms)=%v\n",
+					sc.Scenario, sc.Index, sc.IndexN, sc.TargetQPS, sc.P50Ms, sc.P90Ms, sc.P99Ms, sc.P99Bound, sc.MetBound)
 			default:
-				fmt.Printf("serve %-13s %8.0f qps  p50/p90/p99 %6.2f/%6.2f/%6.2f ms  mean batch %.1f\n",
-					sc.Scenario, sc.QPS, sc.P50Ms, sc.P90Ms, sc.P99Ms, sc.MeanBatch)
+				fmt.Printf("serve %-13s %-6s N=%-8d %8.0f qps  p50/p90/p99 %6.2f/%6.2f/%6.2f ms  mean batch %.1f\n",
+					sc.Scenario, sc.Index, sc.IndexN, sc.QPS, sc.P50Ms, sc.P90Ms, sc.P99Ms, sc.MeanBatch)
 			}
 		}
 		fmt.Printf("report written to %s\n", path)

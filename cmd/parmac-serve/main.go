@@ -38,7 +38,9 @@ func main() {
 		indexPath  = flag.String("index", "", "packed-code index file (retrieval.Codes.Save format, required)")
 		modelPath  = flag.String("model", "", "model JSON (optional; without it only raw-code queries are served)")
 		version    = flag.String("version", "v1", "label for the initial deployment")
-		shards     = flag.Int("shards", 1, "index shards for per-query fan-out")
+		shards     = flag.Int("shards", 1, "linear-index shards for per-query fan-out")
+		indexKind  = flag.String("index-kind", "linear", "index structure: linear (sharded scan) or mih (multi-index hashing)")
+		mihBlocks  = flag.Int("mih-blocks", 0, "substring tables for -index-kind=mih (0 = auto from N and L)")
 		workers    = flag.Int("workers", -1, "goroutines per batch scan (-1 = every core)")
 		maxBatch   = flag.Int("max-batch", 64, "max requests coalesced into one scan")
 		maxDelay   = flag.Duration("max-delay", 0, "how long to hold an under-filled batch (0 = flush when idle)")
@@ -53,13 +55,16 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	dep, err := serve.LoadDeployment(*version, *indexPath, *modelPath, *shards, *maxBytes)
+	cfg := serve.IndexConfig{Kind: *indexKind, Shards: *shards, MIHBlocks: *mihBlocks}
+	dep, err := serve.LoadDeployment(*version, *indexPath, *modelPath, cfg, *maxBytes)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "parmac-serve:", err)
 		os.Exit(1)
 	}
 	s := serve.New(dep, serve.Options{
 		Shards:        *shards,
+		IndexKind:     *indexKind,
+		MIHBlocks:     *mihBlocks,
 		Workers:       *workers,
 		MaxBatch:      *maxBatch,
 		MaxDelay:      *maxDelay,
@@ -69,8 +74,8 @@ func main() {
 	})
 	defer s.Close()
 
-	fmt.Printf("parmac-serve: %q on %s — N=%d L=%d shards=%d model=%v\n",
-		*version, *addr, dep.Index.N, dep.Index.L, dep.Index.Shards(), dep.Model != nil)
+	fmt.Printf("parmac-serve: %q on %s — kind=%s N=%d L=%d model=%v\n",
+		*version, *addr, dep.Index.Kind(), dep.Index.N(), dep.Index.L(), dep.Model != nil)
 	srv := &http.Server{Addr: *addr, Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
 	if err := srv.ListenAndServe(); err != nil {
 		fmt.Fprintln(os.Stderr, "parmac-serve:", err)

@@ -57,10 +57,13 @@ func main() {
 	idx1, mdl1 := export("v1", v1)
 	idx2, mdl2 := export("v2", v2)
 
-	// Stand up the serving stack: sharded index, micro-batcher, HTTP API.
-	dep, err := serve.LoadDeployment("v1", idx1, mdl1, 4, 0)
+	// Stand up the serving stack: MIH index (what -index-kind=mih gives the
+	// parmac-serve binary), micro-batcher, HTTP API. Swap Kind to "linear" to
+	// compare against the brute-force sharded scan — results are identical.
+	cfg := serve.IndexConfig{Kind: "mih"}
+	dep, err := serve.LoadDeployment("v1", idx1, mdl1, cfg, 0)
 	check(err)
-	srv := serve.New(dep, serve.Options{Shards: 4, ShadowRate: 1})
+	srv := serve.New(dep, serve.Options{IndexKind: "mih", ShadowRate: 1})
 	defer srv.Close()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	check(err)
@@ -68,7 +71,7 @@ func main() {
 	go hs.Serve(ln)
 	defer hs.Close()
 	url := "http://" + ln.Addr().String()
-	fmt.Printf("serving N=%d L=%d on %s\n", dep.Index.N, dep.Index.L, url)
+	fmt.Printf("serving kind=%s N=%d L=%d on %s\n", dep.Index.Kind(), dep.Index.N(), dep.Index.L(), url)
 
 	post := func(path string, body any) map[string]any {
 		data, err := json.Marshal(body)

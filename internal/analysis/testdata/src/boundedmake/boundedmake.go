@@ -66,3 +66,31 @@ func parsedButChecked(s string) ([]int, error) {
 	}
 	return make([]int, k), nil
 }
+
+const maxTableBits = 16
+
+// postingTablesUnbounded is the MIH posting-list build pattern gone wrong: a
+// dense substring table sized 1<<bits where bits came off the wire. A lying
+// header turns this into a multi-gigabyte allocation before the first id is
+// even read.
+func postingTablesUnbounded(dec *gob.Decoder) ([][]int32, error) {
+	var bits int
+	if err := dec.Decode(&bits); err != nil {
+		return nil, err
+	}
+	return make([][]int32, 1<<uint(bits)), nil // want `make sized by "bits", which flows from decoded input`
+}
+
+// postingTablesBounded is the accepted shape (retrieval.NewMIHIndex): the
+// substring width is range-checked against the block-width cap before the
+// dense table is allocated.
+func postingTablesBounded(dec *gob.Decoder) ([][]int32, error) {
+	var bits int
+	if err := dec.Decode(&bits); err != nil {
+		return nil, err
+	}
+	if bits < 1 || bits > maxTableBits {
+		return nil, errors.New("table width out of range")
+	}
+	return make([][]int32, 1<<uint(bits)), nil
+}

@@ -39,9 +39,25 @@ type SweepPoint struct {
 	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
 }
 
+// IndexSweepPoint compares the MIH index against the linear popcount scan at
+// one (N, k): ns per query, single-threaded, identical query stream. The
+// speedup column is what justifies (or vetoes) -index-kind=mih at a given
+// scale — MIH only wins once N is large enough for bucket pruning to beat the
+// scan's perfect locality.
+type IndexSweepPoint struct {
+	Index           string  `json:"index"` // "linear" | "mih"
+	N               int     `json:"n"`
+	K               int     `json:"k"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	SpeedupVsLinear float64 `json:"speedup_vs_linear,omitempty"`
+}
+
 // Report is the full harness output.
 type Report struct {
-	Label      string       `json:"label"`
+	Label string `json:"label"`
+	// GitRev is the commit the harness ran at (parmac-bench stamps it), so a
+	// directory of BENCH_*.json files forms a comparable series.
+	GitRev     string       `json:"git_rev,omitempty"`
 	Timestamp  string       `json:"timestamp"`
 	GoVersion  string       `json:"go_version"`
 	GOOS       string       `json:"goos"`
@@ -56,6 +72,8 @@ type Report struct {
 	// the batched Hamming top-k scan over query workers.
 	WStepSweep     []SweepPoint `json:"wstep_sweep"`
 	RetrievalSweep []SweepPoint `json:"retrieval_sweep"`
+	// IndexSweep is the linear-vs-MIH offline throughput grid over N and k.
+	IndexSweep []IndexSweepPoint `json:"index_sweep"`
 	// ServeScenarios are the MLPerf-Inference-style serving measurements
 	// (single-stream latency percentiles, server QPS at a p99 bound, offline
 	// throughput) over the parmac-serve pipeline.
@@ -370,9 +388,64 @@ func Collect(label string, quick bool) *Report {
 		}
 	}
 
+	// Linear scan vs multi-index hashing, single-threaded, over N and k.
+	rep.IndexSweep = collectIndexSweep(quick)
+
 	// MLPerf-Inference-style serving scenarios over the parmac-serve stack.
 	rep.ServeScenarios = CollectServe(quick)
 	return rep
+}
+
+// collectIndexSweep measures one query against the linear oracle and the MIH
+// index at each (N, k). Both paths see the same query stream and both return
+// tie-exact identical neighbor lists; only the ns/op differ.
+func collectIndexSweep(quick bool) []IndexSweepPoint {
+	ns := []int{50000, 200000, 1000000}
+	if quick {
+		ns = []int{10000, 50000}
+	}
+	const nq = 64
+	var out []IndexSweepPoint
+	for _, n := range ns {
+		base := retrieval.NewCodes(n, 64)
+		rng := rand.New(rand.NewSource(41))
+		for i := 0; i < n; i++ {
+			base.SetWord64(i, rng.Uint64())
+		}
+		queries := make([][]uint64, nq)
+		for i := range queries {
+			queries[i] = []uint64{rng.Uint64()}
+		}
+		mih, err := retrieval.NewMIHIndex(base, 0)
+		if err != nil {
+			panic(err)
+		}
+		searcher := mih.NewSearcher()
+		for _, k := range []int{1, 10, 100} {
+			k := k
+			lin := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					retrieval.TopKHammingDist(base, queries[i%nq], k)
+				}
+			})
+			linNs := float64(lin.T.Nanoseconds()) / float64(lin.N)
+			out = append(out, IndexSweepPoint{
+				Index: "linear", N: n, K: k, NsPerOp: linNs, SpeedupVsLinear: 1,
+			})
+			mres := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					searcher.Search(queries[i%nq], k)
+				}
+			})
+			mihNs := float64(mres.T.Nanoseconds()) / float64(mres.N)
+			sp := IndexSweepPoint{Index: "mih", N: n, K: k, NsPerOp: mihNs}
+			if mihNs > 0 {
+				sp.SpeedupVsLinear = linNs / mihNs
+			}
+			out = append(out, sp)
+		}
+	}
+	return out
 }
 
 // Write serialises the report to BENCH_<label>.json under dir and returns the

@@ -28,8 +28,9 @@ import (
 // ServeScenario is one scenario measurement.
 type ServeScenario struct {
 	Scenario  string  `json:"scenario"`
+	Index     string  `json:"index"` // "linear" | "mih"
 	IndexN    int     `json:"index_n"`
-	Shards    int     `json:"shards"`
+	Shards    int     `json:"shards,omitempty"` // linear only
 	Queries   int     `json:"queries"`
 	K         int     `json:"k"`
 	P50Ms     float64 `json:"p50_ms,omitempty"`
@@ -48,18 +49,24 @@ const (
 	serveP99Bound = 50.0 // ms — the "server QPS at a p99 bound" target
 )
 
-// serveFixture builds a raw-code server over n random 64-bit codes.
-func serveFixture(n int) (*serve.Server, *retrieval.Codes) {
+// serveFixture builds a raw-code server over n random 64-bit codes using the
+// requested index kind ("linear" or "mih").
+func serveFixture(n int, kind string) (*serve.Server, *retrieval.Codes) {
 	base := retrieval.NewCodes(n, 64)
 	rng := rand.New(rand.NewSource(31))
 	for i := 0; i < n; i++ {
 		base.SetWord64(i, rng.Uint64())
 	}
-	dep, err := serve.NewDeployment("bench", nil, serve.NewShardedIndex(base, serveShards))
+	ix, err := serve.BuildIndex(base, serve.IndexConfig{Kind: kind, Shards: serveShards})
+	if err != nil {
+		panic(err)
+	}
+	dep, err := serve.NewDeployment("bench", nil, ix)
 	if err != nil {
 		panic(err)
 	}
 	s := serve.New(dep, serve.Options{
+		IndexKind:  kind,
 		ShadowRate: -1,
 		Logf:       func(string, ...any) {},
 	})
@@ -91,17 +98,36 @@ func scenarioStats(sc ServeScenario, lat []time.Duration, elapsed time.Duration,
 	return sc
 }
 
-// CollectServe runs the three scenarios and returns their measurements.
+// CollectServe runs the three scenarios for each index kind at each scale and
+// returns their measurements. Full mode's largest N (one million codes) is
+// where MIH's sublinear probing pays for its bucket overhead; the smaller N
+// is kept so the trajectory shows where the crossover sits.
 func CollectServe(quick bool) []ServeScenario {
-	n, single, perRate, offline := 50000, 600, 400, 2048
+	ns, single, perRate, offline := []int{50000, 1000000}, 600, 400, 2048
 	if quick {
-		n, single, perRate, offline = 5000, 120, 100, 256
+		ns, single, perRate, offline = []int{5000}, 120, 100, 256
+	}
+	var out []ServeScenario
+	for _, n := range ns {
+		for _, kind := range []string{"linear", "mih"} {
+			out = append(out, runServeScenarios(n, kind, single, perRate, offline)...)
+		}
+	}
+	return out
+}
+
+// runServeScenarios measures single_stream, the server rate ladder, and
+// offline for one (N, index kind) fixture.
+func runServeScenarios(n int, kind string, single, perRate, offline int) []ServeScenario {
+	shards := serveShards
+	if kind != "linear" {
+		shards = 0
 	}
 	var out []ServeScenario
 
 	// Single-stream: sequential queries, one in flight.
 	{
-		s, queries := serveFixture(n)
+		s, queries := serveFixture(n, kind)
 		lat := make([]time.Duration, 0, single)
 		start := time.Now()
 		for i := 0; i < single; i++ {
@@ -116,14 +142,15 @@ func CollectServe(quick bool) []ServeScenario {
 		st := s.Stats()
 		s.Close()
 		out = append(out, scenarioStats(ServeScenario{
-			Scenario: "single_stream", IndexN: n, Shards: serveShards,
+			Scenario: "single_stream", Index: kind, IndexN: n, Shards: shards,
 			Queries: single, K: serveK,
 		}, lat, elapsed, st))
 	}
 
 	// Server: open-loop Poisson arrivals over a ladder of target rates; a
 	// rate point meets the scenario when its p99 stays under the bound. The
-	// ladder is anchored at the single-stream service rate.
+	// ladder is anchored at this fixture's own single-stream service rate, so
+	// each index kind is pushed to its own limit.
 	meanMs := out[0].P50Ms
 	if meanMs <= 0 {
 		meanMs = 0.1
@@ -131,7 +158,7 @@ func CollectServe(quick bool) []ServeScenario {
 	serviceQPS := 1000 / meanMs
 	for _, mult := range []float64{0.25, 0.5, 1} {
 		target := serviceQPS * mult
-		s, queries := serveFixture(n)
+		s, queries := serveFixture(n, kind)
 		lat := make([]time.Duration, perRate)
 		var wg sync.WaitGroup
 		rng := rand.New(rand.NewSource(37))
@@ -155,7 +182,7 @@ func CollectServe(quick bool) []ServeScenario {
 		st := s.Stats()
 		s.Close()
 		sc := scenarioStats(ServeScenario{
-			Scenario: "server", IndexN: n, Shards: serveShards,
+			Scenario: "server", Index: kind, IndexN: n, Shards: shards,
 			Queries: perRate, K: serveK,
 			TargetQPS: target, P99Bound: serveP99Bound,
 		}, lat, elapsed, st)
@@ -166,7 +193,7 @@ func CollectServe(quick bool) []ServeScenario {
 	// Offline: everything in flight at once; the batcher coalesces freely
 	// and throughput is all that matters.
 	{
-		s, queries := serveFixture(n)
+		s, queries := serveFixture(n, kind)
 		var wg sync.WaitGroup
 		lat := make([]time.Duration, offline)
 		start := time.Now()
@@ -187,7 +214,7 @@ func CollectServe(quick bool) []ServeScenario {
 		st := s.Stats()
 		s.Close()
 		out = append(out, scenarioStats(ServeScenario{
-			Scenario: "offline", IndexN: n, Shards: serveShards,
+			Scenario: "offline", Index: kind, IndexN: n, Shards: shards,
 			Queries: offline, K: serveK,
 		}, lat, elapsed, st))
 	}

@@ -167,3 +167,47 @@ func TestMergeTopKMatchesSerialScan(t *testing.T) {
 		}
 	}
 }
+
+func TestMergeTopKTieOrderAcrossShards(t *testing.T) {
+	// Hand-built candidate lists where every interesting distance is
+	// duplicated across shard offsets: the merge must order ties strictly by
+	// global index, interleaving the shards, and truncate at k mid-tie. The
+	// MIH re-rank relies on exactly this (Dist, Index) rule to stay tie-exact
+	// with the linear oracle.
+	shard0 := []Neighbor{{Index: 0, Dist: 1}, {Index: 2, Dist: 3}, {Index: 5, Dist: 3}}
+	shard1 := OffsetNeighbors([]Neighbor{{Index: 1, Dist: 1}, {Index: 3, Dist: 3}}, 10)
+	shard2 := OffsetNeighbors([]Neighbor{{Index: 0, Dist: 1}, {Index: 1, Dist: 3}, {Index: 2, Dist: 7}}, 20)
+
+	want := []Neighbor{
+		{Index: 0, Dist: 1}, {Index: 11, Dist: 1}, {Index: 20, Dist: 1},
+		{Index: 2, Dist: 3}, {Index: 5, Dist: 3}, {Index: 13, Dist: 3},
+		{Index: 21, Dist: 3},
+		{Index: 22, Dist: 7},
+	}
+	got := MergeTopK([][]Neighbor{shard0, shard1, shard2}, -1)
+	if len(got) != len(want) {
+		t.Fatalf("merged %d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rank %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	// k=5 cuts inside the Dist=3 tie group: the survivors must be the
+	// lowest-indexed members, not whichever shard came first.
+	got = MergeTopK([][]Neighbor{shard0, shard1, shard2}, 5)
+	if len(got) != 5 {
+		t.Fatalf("k=5 merged %d results", len(got))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("k=5 rank %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	// k=0 and empty parts stay well-defined.
+	if got := MergeTopK([][]Neighbor{shard0, nil, {}}, 0); len(got) != 0 {
+		t.Fatalf("k=0 merged %d results", len(got))
+	}
+}

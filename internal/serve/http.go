@@ -179,7 +179,8 @@ func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request, shadow boo
 		writeErr(w, badRequest("index path required"))
 		return
 	}
-	dep, err := LoadDeployment(req.Version, req.Index, req.Model, s.opts.Shards, s.opts.MaxIndexBytes)
+	cfg := IndexConfig{Kind: s.opts.IndexKind, Shards: s.opts.Shards, MIHBlocks: s.opts.MIHBlocks}
+	dep, err := LoadDeployment(req.Version, req.Index, req.Model, cfg, s.opts.MaxIndexBytes)
 	if err != nil {
 		writeErr(w, badRequest("%v", err))
 		return

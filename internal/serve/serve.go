@@ -23,14 +23,34 @@ import (
 	"repro/internal/retrieval"
 )
 
+// Index is the retrieval engine behind a Deployment. Every implementation
+// must be immutable-or-snapshotted (safe for concurrent searches while a
+// writer publishes new state) and tie-exact: Search returns exactly the
+// (Dist, Index)-ordered top-k the linear TopKHammingDist oracle would, so
+// the serving tier can swap engines without changing a single result.
+type Index interface {
+	// Search answers one query with the exact (Dist, Index)-ordered top-k.
+	Search(query []uint64, k int) []retrieval.Neighbor
+	// SearchBatch answers every query row over a worker pool; row q equals
+	// Search(queries.Code(q), k) for any worker count.
+	SearchBatch(queries *retrieval.Codes, k, workers int) [][]retrieval.Neighbor
+	// L reports the code length in bits.
+	L() int
+	// N reports the number of indexed codes.
+	N() int
+	// Words reports the packed words per code.
+	Words() int
+	// Kind names the engine ("linear", "mih") for stats and logs.
+	Kind() string
+}
+
 // ShardedIndex splits a packed code set into row ranges so one query fans
 // out over shards and merges with retrieval.MergeTopK — the same tie-exact
 // merge the chunked scans use, so a sharded search equals the unsharded scan
 // for any shard count. Shards alias the original backing array (no copy) and
 // are immutable once built; swapping in new codes means building a new index.
 type ShardedIndex struct {
-	L      int
-	N      int
+	l, n   int
 	shards []*retrieval.Codes
 	offs   []int
 }
@@ -44,7 +64,7 @@ func NewShardedIndex(codes *retrieval.Codes, shards int) *ShardedIndex {
 	if shards > codes.N {
 		shards = max(codes.N, 1)
 	}
-	ix := &ShardedIndex{L: codes.L, N: codes.N}
+	ix := &ShardedIndex{l: codes.L, n: codes.N}
 	per := (codes.N + shards - 1) / shards
 	if per == 0 {
 		per = 1
@@ -66,8 +86,17 @@ func NewShardedIndex(codes *retrieval.Codes, shards int) *ShardedIndex {
 // Shards reports the fan-out width.
 func (ix *ShardedIndex) Shards() int { return len(ix.shards) }
 
+// L reports the code length in bits.
+func (ix *ShardedIndex) L() int { return ix.l }
+
+// N reports the number of indexed codes.
+func (ix *ShardedIndex) N() int { return ix.n }
+
 // Words reports the packed words per code.
-func (ix *ShardedIndex) Words() int { return (ix.L + 63) / 64 }
+func (ix *ShardedIndex) Words() int { return (ix.l + 63) / 64 }
+
+// Kind names the engine.
+func (ix *ShardedIndex) Kind() string { return "linear" }
 
 // Search runs one query against every shard and merges to a global top-k.
 func (ix *ShardedIndex) Search(query []uint64, k int) []retrieval.Neighbor {
@@ -92,6 +121,94 @@ func (ix *ShardedIndex) SearchBatch(queries *retrieval.Codes, k, workers int) []
 	return out
 }
 
+// StreamingMIH is the sublinear engine: a multi-index hashing table set
+// (retrieval.MIHIndex) behind an atomic snapshot pointer. Searches load the
+// snapshot once and run entirely against it; Add builds a copy-on-write
+// child snapshot and publishes it — the same swap discipline the Deployment
+// pointer uses, so freshly encoded points become searchable between training
+// iterations without a search ever observing a half-built table.
+type StreamingMIH struct {
+	snap atomic.Pointer[retrieval.MIHIndex]
+	mu   sync.Mutex // serialises Add; searches never take it
+}
+
+// NewStreamingMIH builds the initial snapshot over codes. blocks ≤ 0 picks
+// the substring width automatically from N and L.
+func NewStreamingMIH(codes *retrieval.Codes, blocks int) (*StreamingMIH, error) {
+	ix, err := retrieval.NewMIHIndex(codes, blocks)
+	if err != nil {
+		return nil, err
+	}
+	s := &StreamingMIH{}
+	s.snap.Store(ix)
+	return s, nil
+}
+
+// Add appends freshly encoded points: it builds a child snapshot sharing
+// untouched posting lists with the current one and publishes it atomically.
+// In-flight searches finish on the snapshot they loaded; new searches see
+// the appended points. Ids of the new points start at the previous N.
+func (s *StreamingMIH) Add(extra *retrieval.Codes) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	next, err := s.snap.Load().WithAppended(extra)
+	if err != nil {
+		return err
+	}
+	s.snap.Store(next)
+	return nil
+}
+
+// L reports the code length in bits.
+func (s *StreamingMIH) L() int { return s.snap.Load().L() }
+
+// N reports the number of indexed codes in the current snapshot.
+func (s *StreamingMIH) N() int { return s.snap.Load().N() }
+
+// Words reports the packed words per code.
+func (s *StreamingMIH) Words() int { return s.snap.Load().Words() }
+
+// Kind names the engine.
+func (s *StreamingMIH) Kind() string { return "mih" }
+
+// Occupancy reports the current snapshot's posting-list statistics.
+func (s *StreamingMIH) Occupancy() retrieval.MIHOccupancy { return s.snap.Load().Occupancy() }
+
+// Search answers one query against the current snapshot.
+func (s *StreamingMIH) Search(query []uint64, k int) []retrieval.Neighbor {
+	return s.snap.Load().Search(query, k)
+}
+
+// SearchBatch answers a batch against one snapshot — every row of a batch
+// sees the same point set even if Add lands mid-scan.
+func (s *StreamingMIH) SearchBatch(queries *retrieval.Codes, k, workers int) [][]retrieval.Neighbor {
+	return s.snap.Load().SearchBatch(queries, k, workers)
+}
+
+// IndexConfig selects and sizes the engine BuildIndex constructs.
+type IndexConfig struct {
+	// Kind is "linear" (sharded exact scan, the default) or "mih"
+	// (multi-index hashing, sublinear at production N).
+	Kind string
+	// Shards is the linear engine's per-query fan-out width.
+	Shards int
+	// MIHBlocks is the substring table count for the mih engine (0 = pick
+	// from N and L).
+	MIHBlocks int
+}
+
+// BuildIndex constructs the configured engine over a packed code set.
+func BuildIndex(codes *retrieval.Codes, cfg IndexConfig) (Index, error) {
+	switch cfg.Kind {
+	case "", "linear":
+		return NewShardedIndex(codes, cfg.Shards), nil
+	case "mih":
+		return NewStreamingMIH(codes, cfg.MIHBlocks)
+	default:
+		return nil, fmt.Errorf("serve: unknown index kind %q (want linear or mih)", cfg.Kind)
+	}
+}
+
 // Deployment is one immutable (model, index) pair. Model may be nil, in
 // which case only raw-code queries can be served. Deployments are swapped
 // atomically: in-flight batches keep the snapshot they started with, so a
@@ -99,26 +216,26 @@ func (ix *ShardedIndex) SearchBatch(queries *retrieval.Codes, k, workers int) []
 type Deployment struct {
 	Version string
 	Model   *binauto.Model
-	Index   *ShardedIndex
+	Index   Index
 }
 
 // NewDeployment validates that model and index agree on the code length.
-func NewDeployment(version string, model *binauto.Model, index *ShardedIndex) (*Deployment, error) {
+func NewDeployment(version string, model *binauto.Model, index Index) (*Deployment, error) {
 	if index == nil {
 		return nil, errors.New("serve: deployment needs an index")
 	}
-	if model != nil && model.L() != index.L {
+	if model != nil && model.L() != index.L() {
 		return nil, fmt.Errorf("serve: model emits %d-bit codes but index holds %d-bit codes",
-			model.L(), index.L)
+			model.L(), index.L())
 	}
 	return &Deployment{Version: version, Model: model, Index: index}, nil
 }
 
 // LoadDeployment reads an index file (written by retrieval.Codes.Save) and
-// an optional model JSON from disk, enforcing maxIndexBytes (≤ 0 means
-// retrieval.DefaultMaxIndexBytes) against the index header before any large
-// allocation.
-func LoadDeployment(version, indexPath, modelPath string, shards int, maxIndexBytes int64) (*Deployment, error) {
+// an optional model JSON from disk, builds the engine cfg selects, and
+// enforces maxIndexBytes (≤ 0 means retrieval.DefaultMaxIndexBytes) against
+// the index header before any large allocation.
+func LoadDeployment(version, indexPath, modelPath string, cfg IndexConfig, maxIndexBytes int64) (*Deployment, error) {
 	f, err := os.Open(indexPath)
 	if err != nil {
 		return nil, fmt.Errorf("serve: open index: %w", err)
@@ -139,14 +256,24 @@ func LoadDeployment(version, indexPath, modelPath string, shards int, maxIndexBy
 			return nil, err
 		}
 	}
-	return NewDeployment(version, model, NewShardedIndex(codes, shards))
+	index, err := BuildIndex(codes, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return NewDeployment(version, model, index)
 }
 
 // Options tune the server. Zero values mean the documented defaults.
 type Options struct {
 	// Shards is the fan-out width used when the server itself builds
-	// indexes (swap endpoint, LoadDeployment callers). Default 1.
+	// linear indexes (swap endpoint, LoadDeployment callers). Default 1.
 	Shards int
+	// IndexKind selects the engine the admin endpoints build when loading
+	// index files: "linear" (default) or "mih".
+	IndexKind string
+	// MIHBlocks sizes the mih engine's substring tables (0 = pick from N
+	// and L).
+	MIHBlocks int
 	// Workers bounds the goroutines one batch scan uses (< 0 every core,
 	// which is the default).
 	Workers int
@@ -178,6 +305,9 @@ type Options struct {
 func (o Options) withDefaults() Options {
 	if o.Shards < 1 {
 		o.Shards = 1
+	}
+	if o.IndexKind == "" {
+		o.IndexKind = "linear"
 	}
 	if o.Workers == 0 {
 		o.Workers = -1
@@ -249,16 +379,22 @@ type response struct {
 
 // Stats is a snapshot of the server counters.
 type Stats struct {
-	LiveVersion     string  `json:"live_version"`
-	ShadowVersion   string  `json:"shadow_version,omitempty"`
-	IndexN          int     `json:"index_n"`
-	IndexShards     int     `json:"index_shards"`
-	Queries         int64   `json:"queries"`
-	Errors          int64   `json:"errors"`
-	Batches         int64   `json:"batches"`
-	MeanBatch       float64 `json:"mean_batch"`
-	ShadowQueries   int64   `json:"shadow_queries"`
-	ShadowAgreement float64 `json:"shadow_agreement"` // mean overlap@k in [0,1]
+	LiveVersion   string `json:"live_version"`
+	ShadowVersion string `json:"shadow_version,omitempty"`
+	IndexN        int    `json:"index_n"`
+	// IndexKind names the live engine; IndexShards is the linear engine's
+	// fan-out (0 for other kinds), MIH the mih engine's occupancy summary —
+	// posting-list skew is what degrades its pruning, so operators watch the
+	// max/mean list lengths here.
+	IndexKind       string                  `json:"index_kind,omitempty"`
+	IndexShards     int                     `json:"index_shards,omitempty"`
+	MIH             *retrieval.MIHOccupancy `json:"mih_occupancy,omitempty"`
+	Queries         int64                   `json:"queries"`
+	Errors          int64                   `json:"errors"`
+	Batches         int64                   `json:"batches"`
+	MeanBatch       float64                 `json:"mean_batch"`
+	ShadowQueries   int64                   `json:"shadow_queries"`
+	ShadowAgreement float64                 `json:"shadow_agreement"` // mean overlap@k in [0,1]
 }
 
 // Server owns the live and shadow deployments, the request queue and the
@@ -326,8 +462,8 @@ func (s *Server) Shadow() *Deployment { return s.shadow.Load() }
 // dropped or served by a torn (model, index) pair.
 func (s *Server) Swap(dep *Deployment) *Deployment {
 	old := s.live.Swap(dep)
-	s.opts.Logf("serve: swapped live deployment %q -> %q (N=%d)",
-		version(old), dep.Version, dep.Index.N)
+	s.opts.Logf("serve: swapped live deployment %q -> %q (kind=%s N=%d)",
+		version(old), dep.Version, dep.Index.Kind(), dep.Index.N())
 	return old
 }
 
@@ -338,7 +474,8 @@ func (s *Server) SetShadow(dep *Deployment) {
 	s.shadowQueries.Store(0)
 	s.shadowOverlap.Store(0)
 	if dep != nil {
-		s.opts.Logf("serve: shadow deployment %q installed (N=%d)", dep.Version, dep.Index.N)
+		s.opts.Logf("serve: shadow deployment %q installed (kind=%s N=%d)",
+			dep.Version, dep.Index.Kind(), dep.Index.N())
 	} else {
 		s.opts.Logf("serve: shadow deployment cleared")
 	}
@@ -375,8 +512,15 @@ func (s *Server) Stats() Stats {
 		ShadowQueries: s.shadowQueries.Load(),
 	}
 	if live != nil {
-		st.IndexN = live.Index.N
-		st.IndexShards = live.Index.Shards()
+		st.IndexN = live.Index.N()
+		st.IndexKind = live.Index.Kind()
+		switch ix := live.Index.(type) {
+		case *ShardedIndex:
+			st.IndexShards = ix.Shards()
+		case *StreamingMIH:
+			occ := ix.Occupancy()
+			st.MIH = &occ
+		}
 	}
 	if st.Batches > 0 {
 		st.MeanBatch = float64(s.batched.Load()) / float64(st.Batches)
@@ -418,11 +562,11 @@ func (s *Server) validate(q *Query, dep *Deployment) error {
 	}
 	if len(q.Code) != dep.Index.Words() {
 		return badRequest("code has %d words, index wants %d (L=%d)",
-			len(q.Code), dep.Index.Words(), dep.Index.L)
+			len(q.Code), dep.Index.Words(), dep.Index.L())
 	}
-	if top := dep.Index.L % 64; top != 0 {
+	if top := dep.Index.L() % 64; top != 0 {
 		if q.Code[len(q.Code)-1]>>uint(top) != 0 {
-			return badRequest("code has bits set above L=%d", dep.Index.L)
+			return badRequest("code has bits set above L=%d", dep.Index.L())
 		}
 	}
 	return nil
@@ -577,8 +721,8 @@ type flushJob struct {
 // liveL returns the live code length (NewCodes needs L ≥ 1 even for a batch
 // that turns out to be all-error).
 func liveL(dep *Deployment) int {
-	if dep != nil && dep.Index.L > 0 {
-		return dep.Index.L
+	if dep != nil && dep.Index.L() > 0 {
+		return dep.Index.L()
 	}
 	return 1
 }
@@ -638,7 +782,7 @@ func (s *Server) mirror(live *Deployment, flushed []flushJob, results [][]retrie
 		for _, j := range jobs {
 			code := j.q.Code
 			if len(j.q.Vector) > 0 {
-				tmp := retrieval.NewCodes(1, sh.Index.L)
+				tmp := retrieval.NewCodes(1, sh.Index.L())
 				encodeInto(sh.Model, j.q.Vector, tmp, 0)
 				code = tmp.Code(0)
 			}

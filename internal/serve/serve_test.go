@@ -404,7 +404,7 @@ func TestSwapAndShadowOverHTTP(t *testing.T) {
 	ip1, mp1 := write("v1", 120, 8, 16, 11)
 	ip2, mp2 := write("v2", 140, 8, 16, 12)
 
-	dep, err := LoadDeployment("v1", ip1, mp1, 2, 0)
+	dep, err := LoadDeployment("v1", ip1, mp1, IndexConfig{Shards: 2}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -486,4 +486,128 @@ func TestRawCodeOnlyDeployment(t *testing.T) {
 	if err != nil || len(rs.Neighbors) != 3 {
 		t.Fatalf("raw code query: %v %v", err, rs)
 	}
+}
+
+func TestMIHDeploymentMatchesLinear(t *testing.T) {
+	_, codes, ds := testDeployment("v", 600, 16, 32, 1, 16)
+	mih, err := BuildIndex(codes, IndexConfig{Kind: "mih"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mih.Kind() != "mih" || mih.N() != codes.N || mih.L() != codes.L {
+		t.Fatalf("mih index shape: kind=%s N=%d L=%d", mih.Kind(), mih.N(), mih.L())
+	}
+	lin := NewShardedIndex(codes, 3)
+	queries := testModel(16, 32, 17).Encode(ds)
+	for qi := 0; qi < 20; qi++ {
+		q := queries.Code(qi)
+		want := lin.Search(q, 10)
+		got := mih.Search(q, 10)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d results, want %d", qi, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("query %d rank %d: %+v != %+v", qi, i, got[i], want[i])
+			}
+		}
+	}
+	batch := mih.SearchBatch(queries, 10, 4)
+	for qi := 0; qi < queries.N; qi++ {
+		want := lin.Search(queries.Code(qi), 10)
+		for i := range want {
+			if batch[qi][i] != want[i] {
+				t.Fatalf("SearchBatch query %d differs from linear", qi)
+			}
+		}
+	}
+}
+
+func TestStreamingMIHAddSearchable(t *testing.T) {
+	ds := dataset.GISTLike(300, 8, 4, 18)
+	m := testModel(8, 16, 19)
+	codes := m.Encode(ds)
+	first := subCodes(codes, 0, 200)
+	extra := subCodes(codes, 200, 300)
+
+	sm, err := NewStreamingMIH(first, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := NewDeployment("v1", m, sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(dep, quietOpts(Options{IndexKind: "mih"}))
+	defer s.Close()
+
+	q := codes.Code(250) // not yet ingested
+	pre, err := s.Search(Query{Code: q, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Streaming ingest between "training iterations": the same server, no
+	// swap, must see the new points on the very next query.
+	if err := sm.Add(extra); err != nil {
+		t.Fatal(err)
+	}
+	post, err := s.Search(Query{Code: q, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := retrieval.TopKHammingDist(codes, q, 5)
+	for i := range want {
+		if post.Neighbors[i] != want[i] {
+			t.Fatalf("rank %d after Add: %+v want %+v (pre-Add %+v)",
+				i, post.Neighbors[i], want[i], pre.Neighbors)
+		}
+	}
+	// The query is a base point, so after ingest an exact match must exist
+	// (possibly a lower-indexed duplicate code — ties order by index).
+	if post.Neighbors[0].Dist != 0 {
+		t.Fatalf("no exact match after Add: %+v", post.Neighbors[0])
+	}
+	if sm.N() != 300 {
+		t.Fatalf("N after Add = %d, want 300", sm.N())
+	}
+}
+
+func TestStatsReportIndexKindAndOccupancy(t *testing.T) {
+	_, codes, _ := testDeployment("v", 200, 8, 16, 1, 20)
+
+	lin, _ := NewDeployment("lin", nil, NewShardedIndex(codes, 2))
+	s := New(lin, quietOpts(Options{}))
+	st := s.Stats()
+	s.Close()
+	if st.IndexKind != "linear" || st.IndexShards != 2 || st.MIH != nil {
+		t.Fatalf("linear stats: %+v", st)
+	}
+
+	sm, err := NewStreamingMIH(codes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mih, _ := NewDeployment("mih", nil, sm)
+	s = New(mih, quietOpts(Options{IndexKind: "mih"}))
+	defer s.Close()
+	st = s.Stats()
+	if st.IndexKind != "mih" || st.IndexShards != 0 {
+		t.Fatalf("mih stats: %+v", st)
+	}
+	if st.MIH == nil || st.MIH.Blocks < 1 || st.MIH.Buckets < 1 {
+		t.Fatalf("mih occupancy missing: %+v", st.MIH)
+	}
+	want := sm.Occupancy()
+	if *st.MIH != want {
+		t.Fatalf("occupancy %+v, want %+v", *st.MIH, want)
+	}
+}
+
+// subCodes copies rows [lo, hi) of src into a fresh Codes.
+func subCodes(src *retrieval.Codes, lo, hi int) *retrieval.Codes {
+	out := retrieval.NewCodes(hi-lo, src.L)
+	for i := lo; i < hi; i++ {
+		out.CopyCode(i-lo, src, i)
+	}
+	return out
 }
