@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/binauto"
+	"repro/internal/cluster"
 	"repro/internal/cluster/tcp"
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -43,6 +44,7 @@ type options struct {
 	mu0, muFactor           float64
 	shuffle, approxZ        bool
 	seed                    int64
+	rescueTimeout           time.Duration
 	csvPath                 string
 	out, load, saveCodes    string
 
@@ -69,6 +71,8 @@ func parseFlags() *options {
 	flag.Float64Var(&o.muFactor, "mufactor", 2, "penalty growth factor")
 	flag.BoolVar(&o.shuffle, "shuffle", true, "shuffle ring and minibatches")
 	flag.Int64Var(&o.seed, "seed", 1, "random seed")
+	flag.DurationVar(&o.rescueTimeout, "rescue-timeout", 0,
+		"bound on failure-detection and rescue waits after a machine dies (0 = engine default; keep above the slowest single training visit)")
 	flag.IntVar(&o.queries, "queries", 100, "evaluation queries")
 	flag.StringVar(&o.csvPath, "csv", "", "load training features from this CSV instead of generating synthetic data (queries are split off the tail)")
 	flag.BoolVar(&o.approxZ, "approxz", true, "use the alternating Z step instead of exact enumeration")
@@ -188,7 +192,33 @@ func buildProblem(o *options, ds *dataset.Dataset) *binauto.ParMACProblem {
 }
 
 func engineConfig(o *options) core.Config {
-	return core.Config{P: o.p, Epochs: o.epochs, Shuffle: o.shuffle, Seed: o.seed}
+	return core.Config{
+		P: o.p, Epochs: o.epochs, Shuffle: o.shuffle, Seed: o.seed,
+		RescueTimeout: o.rescueTimeout,
+	}
+}
+
+// reportFailures surfaces machine deaths from an iteration's run report.
+func reportFailures(res core.IterationResult) {
+	for _, ev := range res.Failures {
+		kind := "announced"
+		if ev.Unannounced {
+			kind = "unannounced"
+		}
+		switch {
+		case ev.LostToken >= 0 && ev.FromRank >= 0:
+			fmt.Fprintf(os.Stderr, "iter %d: machine %d died (%s); submodel %d restored from machine %d\n",
+				res.Iter, ev.Rank, kind, ev.LostToken, ev.FromRank)
+		case ev.LostToken >= 0:
+			fmt.Fprintf(os.Stderr, "iter %d: machine %d died (%s); submodel %d restarted from the coordinator copy\n",
+				res.Iter, ev.Rank, kind, ev.LostToken)
+		default:
+			fmt.Fprintf(os.Stderr, "iter %d: machine %d died (%s)\n", res.Iter, ev.Rank, kind)
+		}
+	}
+	if res.DroppedFrames > 0 {
+		fmt.Fprintf(os.Stderr, "iter %d: %d frames dropped toward departed machines\n", res.Iter, res.DroppedFrames)
+	}
 }
 
 func trainInProcess(o *options, ds *dataset.Dataset) *binauto.Model {
@@ -201,6 +231,7 @@ func trainInProcess(o *options, ds *dataset.Dataset) *binauto.Model {
 		res := eng.Iterate()
 		eq, eba := prob.Stats()
 		fmt.Printf("%5d %14.1f %14.1f %10d %12d\n", it, eq, eba, res.ZChanged, res.ModelBytes)
+		reportFailures(res)
 	}
 	return prob.AssembleModel()
 }
@@ -224,13 +255,21 @@ func trainTCP(o *options, ds *dataset.Dataset) *binauto.Model {
 	fatalIf(err)
 	prob := buildProblem(o, ds)
 	eng := core.NewDistributed(prob, engineConfig(o), comm)
+	// The hub sits outside the coordinator's Comm, so frames dropped toward
+	// departed workers are counted there, not in comm.Stats().
+	eng.SetStatsSource(func() cluster.Stats {
+		s := comm.Stats()
+		s.Dropped = hub.DroppedFrames()
+		return s
+	})
 
 	var model *binauto.Model
-	fmt.Printf("%5s %14s %10s %12s\n", "iter", "E_BA", "Zchanged", "model bytes")
+	fmt.Printf("%5s %14s %10s %12s %8s\n", "iter", "E_BA", "Zchanged", "model bytes", "alive")
 	for it := 0; it < o.iters; it++ {
 		res := eng.Iterate()
 		model = prob.AssembleModel()
-		fmt.Printf("%5d %14.1f %10d %12d\n", it, model.EBA(ds), res.ZChanged, res.ModelBytes)
+		fmt.Printf("%5d %14.1f %10d %12d %8d\n", it, model.EBA(ds), res.ZChanged, res.ModelBytes, res.AliveMachines)
+		reportFailures(res)
 	}
 
 	eng.Shutdown()

@@ -1,0 +1,185 @@
+// Package chaos is a fault-injecting transport wrapper for internal/cluster.
+// It interposes on another fabric's raw endpoints and injects seeded,
+// reproducible faults — message delay, duplicate delivery (back-to-back, so
+// per-sender FIFO order is preserved), and rank kills at configurable
+// protocol points (the Nth send of a given tag) or on demand via Kill. With
+// zero fault probabilities it is a transparent proxy, which is exactly how
+// it registers in the transport registry ("chaos", over inproc): the
+// cross-backend conformance suite then holds the wrapper to the same
+// delivery contract as every real backend.
+//
+// Faults are deterministic: each endpoint draws from its own rand.Rand
+// seeded from Options.Seed and the rank, so a given (seed, schedule) replays
+// identically — the property that makes chaos failures debuggable.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// AnyTag makes a KillSpec count every send regardless of tag.
+const AnyTag = cluster.AnyTag
+
+// KillSpec kills a rank at a deterministic protocol point: the rank dies
+// unannounced just before performing its (AfterSends+1)-th Deliver of a
+// message matching Tag (AnyTag for all). The triggering message is lost with
+// the process, like a SIGKILL between receiving and forwarding.
+type KillSpec struct {
+	Rank       int
+	Tag        int // AnyTag or a specific application tag
+	AfterSends int // die before send number AfterSends (0-based count)
+}
+
+// Options configures the injected faults. The zero value (plus a Seed)
+// injects nothing.
+type Options struct {
+	// Seed drives every random draw; each rank derives its own stream.
+	Seed int64
+	// DelayProb is the per-message probability of an extra delivery delay,
+	// uniform in (0, MaxDelay]. Delays happen in Deliver, so per-sender FIFO
+	// order is preserved.
+	DelayProb float64
+	MaxDelay  time.Duration
+	// DupProb is the per-message probability of an immediate duplicate
+	// delivery (same payload, back-to-back, FIFO-compatible).
+	DupProb float64
+	// Kills schedules unannounced deaths at protocol points.
+	Kills []KillSpec
+}
+
+// Fabric wraps an inner fabric's endpoints with fault injection. It
+// implements cluster.Fabric, cluster.Killer and cluster.EndpointFabric.
+type Fabric struct {
+	inner cluster.Fabric
+	eps   []*endpoint
+	comms []*cluster.Comm
+}
+
+// New wraps inner (which must expose its raw endpoints via
+// cluster.EndpointFabric) in a chaos fabric.
+func New(inner cluster.Fabric, o Options) (*Fabric, error) {
+	ef, ok := inner.(cluster.EndpointFabric)
+	if !ok {
+		return nil, fmt.Errorf("chaos: inner fabric %T does not expose endpoints", inner)
+	}
+	f := &Fabric{
+		inner: inner,
+		eps:   make([]*endpoint, inner.Size()),
+		comms: make([]*cluster.Comm, inner.Size()),
+	}
+	for r := 0; r < inner.Size(); r++ {
+		ep := &endpoint{
+			inner: ef.Endpoint(r),
+			opts:  o,
+			rng:   rand.New(rand.NewSource(o.Seed ^ int64(r+1)*0x9e3779b97f4a7c)),
+		}
+		for i := range o.Kills {
+			if o.Kills[i].Rank == r {
+				ep.kills = append(ep.kills, &killState{spec: o.Kills[i]})
+			}
+		}
+		f.eps[r] = ep
+		f.comms[r] = cluster.NewComm(ep)
+	}
+	return f, nil
+}
+
+// Size implements cluster.Fabric.
+func (f *Fabric) Size() int { return f.inner.Size() }
+
+// Comm implements cluster.Fabric.
+func (f *Fabric) Comm(rank int) *cluster.Comm { return f.comms[rank] }
+
+// Endpoint implements cluster.EndpointFabric.
+func (f *Fabric) Endpoint(rank int) cluster.Endpoint { return f.eps[rank] }
+
+// Kill severs rank unannounced right now (cluster.Killer).
+func (f *Fabric) Kill(rank int) {
+	if k, ok := f.inner.(cluster.Killer); ok {
+		k.Kill(rank)
+		return
+	}
+	f.eps[rank].inner.Abort()
+}
+
+// Stats implements cluster.Fabric: traffic is counted at this fabric's Comms
+// (the inner Comms are unused); drops come from the inner transport.
+func (f *Fabric) Stats() cluster.Stats {
+	var out cluster.Stats
+	for _, c := range f.comms {
+		s := c.Stats()
+		out.Messages += s.Messages
+		out.Bytes += s.Bytes
+	}
+	out.Dropped = f.inner.Stats().Dropped
+	return out
+}
+
+// Close implements cluster.Fabric.
+func (f *Fabric) Close() error { return f.inner.Close() }
+
+type killState struct {
+	spec KillSpec
+	sent int
+}
+
+type endpoint struct {
+	inner cluster.Endpoint
+	opts  Options
+	rng   *rand.Rand
+	kills []*killState
+}
+
+func (e *endpoint) Rank() int { return e.inner.Rank() }
+func (e *endpoint) Size() int { return e.inner.Size() }
+
+// Deliver injects the configured faults around the inner delivery. Like the
+// Comm above it, an endpoint is driven by a single goroutine, so the rng and
+// kill counters need no locking.
+func (e *endpoint) Deliver(to int, m cluster.Message) {
+	for _, k := range e.kills {
+		if k.spec.Tag != AnyTag && k.spec.Tag != m.Tag {
+			continue
+		}
+		if k.sent == k.spec.AfterSends {
+			k.sent++ // fire once
+			// Die before the send: the message is lost with the process.
+			e.inner.Abort()
+			return
+		}
+		k.sent++
+	}
+	if e.opts.DelayProb > 0 && e.rng.Float64() < e.opts.DelayProb && e.opts.MaxDelay > 0 {
+		time.Sleep(time.Duration(1 + e.rng.Int63n(int64(e.opts.MaxDelay))))
+	}
+	e.inner.Deliver(to, m)
+	if e.opts.DupProb > 0 && e.rng.Float64() < e.opts.DupProb {
+		e.inner.Deliver(to, m)
+	}
+}
+
+func (e *endpoint) Next(timeout time.Duration) (cluster.Message, error) {
+	return e.inner.Next(timeout)
+}
+
+func (e *endpoint) TryNext() (cluster.Message, bool) { return e.inner.TryNext() }
+
+func (e *endpoint) Abort() { e.inner.Abort() }
+
+func (e *endpoint) Close() error { return e.inner.Close() }
+
+func init() {
+	// Registered with zero faults: the conformance suite proves the wrapper
+	// is a transparent proxy before any chaos is dialled in.
+	cluster.RegisterTransport("chaos", func(p int, opts ...cluster.Option) (cluster.Fabric, error) {
+		inner, err := cluster.NewFabric("inproc", p, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return New(inner, Options{Seed: 1})
+	})
+}

@@ -51,6 +51,10 @@ type Message struct {
 type Stats struct {
 	Messages int64
 	Bytes    int64
+	// Dropped counts frames the fabric discarded because their destination
+	// had already left (dead rank, departed peer). Filled at fabric level;
+	// a single Comm's snapshot reports 0.
+	Dropped int64
 }
 
 // Comm is one rank's communicator: the transport endpoint plus a local queue
@@ -60,6 +64,11 @@ type Stats struct {
 type Comm struct {
 	ep      Endpoint
 	pending []Message
+
+	// Peer-down bookkeeping (see failure.go): ranks whose unannounced death
+	// this Comm has observed, and the not-yet-reported subset.
+	down      map[int]bool
+	downQueue []int
 
 	sentMsgs  atomic.Int64
 	sentBytes atomic.Int64
@@ -106,17 +115,35 @@ func (c *Comm) Send(to, tag int, payload any, bytes int) {
 func (c *Comm) Recv(tag int) Message { return c.RecvFrom(AnySource, tag) }
 
 // RecvFrom is Recv restricted to a particular sender (AnySource for any).
+//
+// RecvFrom keeps the classic MPI blocking contract: it waits forever and
+// panics if this rank's own fabric link dies. Peer-down events observed
+// while waiting are recorded (see Down/PollDown) and skipped. Failure-aware
+// code — anything that must survive a dead peer — uses RecvEvent instead.
 func (c *Comm) RecvFrom(from, tag int) Message {
 	if m, ok := c.takePending(from, tag); ok {
 		return m
 	}
 	for {
-		m := c.ep.Next()
+		m := c.nextBlocking()
+		if c.notePeerDown(m) {
+			continue
+		}
 		if matches(m, from, tag) {
 			return m
 		}
 		c.pending = append(c.pending, m)
 	}
+}
+
+// nextBlocking pulls the next transport message with no deadline, panicking
+// on link loss (the legacy Recv contract; RecvEvent surfaces it as an error).
+func (c *Comm) nextBlocking() Message {
+	m, err := c.ep.Next(-1)
+	if err != nil {
+		panic(fmt.Sprintf("cluster: rank %d: %v", c.ep.Rank(), err))
+	}
+	return m
 }
 
 // TryRecv returns a matching message if one is immediately available.
@@ -128,6 +155,9 @@ func (c *Comm) TryRecv(tag int) (Message, bool) {
 		m, ok := c.ep.TryNext()
 		if !ok {
 			return Message{}, false
+		}
+		if c.notePeerDown(m) {
+			continue
 		}
 		if matches(m, AnySource, tag) {
 			return m, true
@@ -190,7 +220,10 @@ func (c *Comm) recvInternal(from, tag int) Message {
 		}
 	}
 	for {
-		m := c.ep.Next()
+		m := c.nextBlocking()
+		if c.notePeerDown(m) {
+			continue
+		}
 		if m.Tag == tag && (from == AnySource || m.From == from) {
 			return m
 		}

@@ -8,12 +8,14 @@
 package cluster_test
 
 import (
+	"errors"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/cluster"
-	_ "repro/internal/cluster/tcp" // register the TCP backend
+	_ "repro/internal/cluster/chaos" // register the chaos wrapper (zero faults)
+	_ "repro/internal/cluster/tcp"   // register the TCP backend
 )
 
 // scenario is one conformance case, run once per registered transport.
@@ -38,6 +40,9 @@ var scenarios = []scenario{
 	{"ByteAccounting", 3, nil, scenarioByteAccounting},
 	{"RingCirculation", 5, nil, scenarioRingCirculation},
 	{"SlowRankBackpressure", 4, []cluster.Option{cluster.WithInboxCapacity(2)}, scenarioSlowRank},
+	{"RecvEventTimeout", 2, nil, scenarioRecvEventTimeout},
+	{"KillPeerDownFIFO", 3, nil, scenarioKillPeerDownFIFO},
+	{"SendToDeadRankDrops", 3, nil, scenarioSendToDeadRankDrops},
 }
 
 func TestConformance(t *testing.T) {
@@ -375,5 +380,71 @@ func scenarioSlowRank(t *testing.T, fab cluster.Fabric) {
 	})
 	if arrived != tokens {
 		t.Fatalf("only %d/%d tokens completed", arrived, tokens)
+	}
+}
+
+// scenarioRecvEventTimeout: a deadline-bounded receive must return
+// ErrRecvTimeout instead of blocking forever, and the comm must keep working
+// after the timeout.
+func scenarioRecvEventTimeout(t *testing.T, fab cluster.Fabric) {
+	if _, err := fab.Comm(0).RecvEvent(cluster.AnySource, cluster.AnyTag, 50*time.Millisecond); !errors.Is(err, cluster.ErrRecvTimeout) {
+		t.Fatalf("err = %v, want ErrRecvTimeout", err)
+	}
+	fab.Comm(1).Send(0, 9, "after-timeout", 0)
+	m, err := fab.Comm(0).RecvEvent(1, 9, 10*time.Second)
+	if err != nil || m.Payload != "after-timeout" {
+		t.Fatalf("recv after timeout: %v %v", m, err)
+	}
+}
+
+// scenarioKillPeerDownFIFO: killing a rank surfaces as a PeerDownError on
+// every survivor's RecvEvent — after the dead rank's final sends, so nothing
+// it managed to forward is lost or reordered.
+func scenarioKillPeerDownFIFO(t *testing.T, fab cluster.Fabric) {
+	killer, ok := fab.(cluster.Killer)
+	if !ok {
+		t.Skipf("transport %T does not support Kill", fab)
+	}
+	fab.Comm(0).Send(2, 7, "final-forward", 0)
+	killer.Kill(0)
+
+	var pd *cluster.PeerDownError
+	// Rank 2 must see the final message before the death.
+	m, err := fab.Comm(2).RecvEvent(cluster.AnySource, cluster.AnyTag, 10*time.Second)
+	if err != nil || m.Payload != "final-forward" {
+		t.Fatalf("rank 2 first event = %v %v, want the final message", m, err)
+	}
+	if _, err := fab.Comm(2).RecvEvent(cluster.AnySource, cluster.AnyTag, 10*time.Second); !errors.As(err, &pd) || pd.Rank != 0 {
+		t.Fatalf("rank 2 second event = %v, want PeerDown(0)", err)
+	}
+	// Rank 1 got no message; it sees only the down event.
+	if _, err := fab.Comm(1).RecvEvent(cluster.AnySource, cluster.AnyTag, 10*time.Second); !errors.As(err, &pd) || pd.Rank != 0 {
+		t.Fatalf("rank 1 event = %v, want PeerDown(0)", err)
+	}
+	if !fab.Comm(1).Down(0) || !fab.Comm(2).Down(0) {
+		t.Fatal("Down(0) = false on a survivor after observing the death")
+	}
+}
+
+// scenarioSendToDeadRankDrops: sending to a dead rank must neither panic nor
+// block — the frame is dropped and counted in the fabric's stats.
+func scenarioSendToDeadRankDrops(t *testing.T, fab cluster.Fabric) {
+	killer, ok := fab.(cluster.Killer)
+	if !ok {
+		t.Skipf("transport %T does not support Kill", fab)
+	}
+	killer.Kill(1)
+	var pd *cluster.PeerDownError
+	if _, err := fab.Comm(0).RecvEvent(cluster.AnySource, cluster.AnyTag, 10*time.Second); !errors.As(err, &pd) || pd.Rank != 1 {
+		t.Fatalf("death not observed: %v", err)
+	}
+	before := fab.Stats().Dropped
+	fab.Comm(0).Send(1, 4, "into the void", 0)
+	deadline := time.Now().Add(10 * time.Second)
+	for fab.Stats().Dropped <= before {
+		if time.Now().After(deadline) {
+			t.Fatalf("dropped frame never counted (dropped = %d)", fab.Stats().Dropped)
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }

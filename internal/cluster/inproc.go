@@ -1,10 +1,18 @@
 package cluster
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
 
 // The in-process transport backend: every rank is a goroutine in one
 // process, inboxes are buffered Go channels. This is the zero-overhead
-// fabric the paper's single-host experiments run on.
+// fabric the paper's single-host experiments run on. It also implements
+// Killer: Kill(rank) simulates unannounced process death for fault tests —
+// the killed rank's receives fail, frames to it are dropped and counted,
+// and every other rank observes a PeerDownMessage.
 
 // DefaultInboxCapacity bounds in-flight messages per rank unless overridden
 // with WithInboxCapacity. ParMAC keeps at most M submodels + P final-round
@@ -16,6 +24,12 @@ type Network struct {
 	size    int
 	inboxes []chan Message
 	comms   []*Comm
+	eps     []*inprocEndpoint
+
+	killMu   sync.Mutex
+	killed   []atomic.Bool
+	killedCh []chan struct{}
+	dropped  atomic.Int64
 }
 
 // NewNetwork creates an in-process fabric with p ranks.
@@ -25,13 +39,18 @@ func NewNetwork(p int, opts ...Option) *Network {
 	}
 	o := ResolveOptions(opts...)
 	n := &Network{
-		size:    p,
-		inboxes: make([]chan Message, p),
-		comms:   make([]*Comm, p),
+		size:     p,
+		inboxes:  make([]chan Message, p),
+		comms:    make([]*Comm, p),
+		eps:      make([]*inprocEndpoint, p),
+		killed:   make([]atomic.Bool, p),
+		killedCh: make([]chan struct{}, p),
 	}
 	for i := range n.inboxes {
 		n.inboxes[i] = make(chan Message, o.InboxCapacity)
-		n.comms[i] = NewComm(&inprocEndpoint{net: n, rank: i})
+		n.killedCh[i] = make(chan struct{})
+		n.eps[i] = &inprocEndpoint{net: n, rank: i}
+		n.comms[i] = NewComm(n.eps[i])
 	}
 	return n
 }
@@ -49,6 +68,9 @@ func (n *Network) Comm(rank int) *Comm {
 	return n.comms[rank]
 }
 
+// Endpoint returns rank's raw transport endpoint (EndpointFabric).
+func (n *Network) Endpoint(rank int) Endpoint { return n.eps[rank] }
+
 // Stats returns the fabric-wide message and byte totals so far.
 func (n *Network) Stats() Stats {
 	var out Stats
@@ -57,11 +79,43 @@ func (n *Network) Stats() Stats {
 		out.Messages += s.Messages
 		out.Bytes += s.Bytes
 	}
+	out.Dropped = n.dropped.Load()
 	return out
 }
 
 // SentBy returns how many messages the given rank has sent.
 func (n *Network) SentBy(rank int) int64 { return n.comms[rank].Stats().Messages }
+
+// Dropped returns how many messages were discarded because their destination
+// rank had been killed.
+func (n *Network) Dropped() int64 { return n.dropped.Load() }
+
+// Kill severs rank's attachment unannounced (Killer): its receives fail with
+// a LinkError, deliveries to it are dropped and counted, and every other
+// live rank gets a PeerDownMessage in its inbox. Idempotent.
+func (n *Network) Kill(rank int) {
+	if rank < 0 || rank >= n.size {
+		panic(fmt.Sprintf("cluster: Kill of invalid rank %d", rank))
+	}
+	if !n.killed[rank].CompareAndSwap(false, true) {
+		return
+	}
+	// killMu serializes the close with concurrent Kill calls for other
+	// ranks; the CAS above already makes each rank's close happen once.
+	n.killMu.Lock()
+	close(n.killedCh[rank])
+	n.killMu.Unlock()
+	down := PeerDownMessage(rank)
+	for r := 0; r < n.size; r++ {
+		if r == rank || n.killed[r].Load() {
+			continue
+		}
+		select {
+		case n.inboxes[r] <- down:
+		case <-n.killedCh[r]:
+		}
+	}
+}
 
 // Close implements Fabric. The in-process fabric holds no external
 // resources; goroutines blocked on Recv are the caller's to unblock.
@@ -72,13 +126,56 @@ type inprocEndpoint struct {
 	rank int
 }
 
-func (e *inprocEndpoint) Rank() int                 { return e.rank }
-func (e *inprocEndpoint) Size() int                 { return e.net.size }
-func (e *inprocEndpoint) Deliver(to int, m Message) { e.net.inboxes[to] <- m }
-func (e *inprocEndpoint) Next() Message             { return <-e.net.inboxes[e.rank] }
-func (e *inprocEndpoint) Close() error              { return nil }
+func (e *inprocEndpoint) Rank() int { return e.rank }
+func (e *inprocEndpoint) Size() int { return e.net.size }
+
+func (e *inprocEndpoint) Deliver(to int, m Message) {
+	if e.net.killed[to].Load() {
+		e.net.dropped.Add(1)
+		return
+	}
+	select {
+	case e.net.inboxes[to] <- m:
+	case <-e.net.killedCh[to]:
+		e.net.dropped.Add(1)
+	}
+}
+
+func (e *inprocEndpoint) Next(timeout time.Duration) (Message, error) {
+	// A killed rank is dead memory: it reads nothing more, even if messages
+	// are still queued.
+	if e.net.killed[e.rank].Load() {
+		return Message{}, e.linkErr()
+	}
+	select {
+	case m := <-e.net.inboxes[e.rank]:
+		return m, nil
+	default:
+	}
+	var timerC <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timerC = t.C
+	}
+	select {
+	case m := <-e.net.inboxes[e.rank]:
+		return m, nil
+	case <-e.net.killedCh[e.rank]:
+		return Message{}, e.linkErr()
+	case <-timerC:
+		return Message{}, ErrRecvTimeout
+	}
+}
+
+func (e *inprocEndpoint) linkErr() error {
+	return &LinkError{Cause: fmt.Errorf("rank %d was killed", e.rank)}
+}
 
 func (e *inprocEndpoint) TryNext() (Message, bool) {
+	if e.net.killed[e.rank].Load() {
+		return Message{}, false
+	}
 	select {
 	case m := <-e.net.inboxes[e.rank]:
 		return m, true
@@ -86,6 +183,11 @@ func (e *inprocEndpoint) TryNext() (Message, bool) {
 		return Message{}, false
 	}
 }
+
+// Abort simulates this rank's own unannounced death: Kill(self).
+func (e *inprocEndpoint) Abort() { e.net.Kill(e.rank) }
+
+func (e *inprocEndpoint) Close() error { return nil }
 
 func init() {
 	RegisterTransport("inproc", func(p int, opts ...Option) (Fabric, error) {

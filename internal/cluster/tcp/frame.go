@@ -31,6 +31,10 @@ const (
 	frameData
 	// frameBye announces a graceful endpoint shutdown.
 	frameBye
+	// frameDown is broadcast by the hub to surviving ranks when a peer's
+	// connection drops without a bye (unannounced death). Rank carries the
+	// dead rank.
+	frameDown
 )
 
 type frame struct {

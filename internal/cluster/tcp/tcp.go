@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
@@ -46,10 +47,13 @@ type Hub struct {
 	allGone chan struct{} // closed once every rank has departed
 	started bool
 	closed  bool
+
+	dropped atomic.Int64 // frames discarded because their destination left
 }
 
 type hubPeer struct {
 	hub  *Hub
+	rank int
 	conn net.Conn
 	br   *bufio.Reader
 
@@ -59,12 +63,14 @@ type hubPeer struct {
 }
 
 // send routes one frame to this peer, preserving the caller's order. Frames
-// to a departed peer are dropped (the rank said bye or its connection died).
-func (p *hubPeer) send(f *frame) {
+// to a departed peer are dropped and counted (the rank said bye or its
+// connection died). It returns false when the frame was not delivered.
+func (p *hubPeer) send(f *frame) bool {
 	p.wmu.Lock()
 	if p.gone {
 		p.wmu.Unlock()
-		return
+		p.hub.noteDrop(f)
+		return false
 	}
 	err := writeFrame(p.bw, f)
 	if err == nil {
@@ -74,32 +80,66 @@ func (p *hubPeer) send(f *frame) {
 		p.gone = true
 		p.wmu.Unlock()
 		p.conn.Close()
-		p.hub.noteGone()
-		return
+		p.hub.noteDrop(f)
+		// A write failure means the connection died under us — unannounced.
+		p.hub.peerGone(p, false)
+		return false
 	}
 	p.wmu.Unlock()
+	return true
 }
 
-func (p *hubPeer) markGone() {
+// noteDrop counts an undeliverable application frame. Control frames (down
+// notifications racing a second departure) are not traffic and stay out of
+// the counter.
+func (h *Hub) noteDrop(f *frame) {
+	if f.Kind == frameData {
+		h.dropped.Add(1)
+	}
+}
+
+// markGone retires this peer. graceful distinguishes a bye frame from a
+// connection that died under us; only the latter is broadcast to the
+// survivors as a peer-down event (unannounced death, paper §4.3).
+func (p *hubPeer) markGone(graceful bool) {
 	p.wmu.Lock()
 	first := !p.gone
 	p.gone = true
 	p.wmu.Unlock()
 	p.conn.Close()
 	if first {
-		p.hub.noteGone()
+		p.hub.peerGone(p, graceful)
 	}
 }
 
-func (h *Hub) noteGone() {
+// peerGone records a departure and, for unannounced ones after the cluster
+// started, broadcasts frameDown to the surviving ranks. Called at most once
+// per peer (guarded by p.gone).
+func (h *Hub) peerGone(p *hubPeer, graceful bool) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	h.gone++
 	if h.gone == h.size && h.allGone != nil {
 		close(h.allGone)
 		h.allGone = nil
 	}
+	broadcast := !graceful && h.started && !h.closed
+	var survivors []*hubPeer
+	if broadcast {
+		for _, q := range h.peers {
+			if q != nil && q != p {
+				survivors = append(survivors, q)
+			}
+		}
+	}
+	h.mu.Unlock()
+	for _, q := range survivors {
+		q.send(&frame{Kind: frameDown, Rank: p.rank})
+	}
 }
+
+// DroppedFrames returns how many frames the hub discarded because their
+// destination rank had already departed.
+func (h *Hub) DroppedFrames() int64 { return h.dropped.Load() }
 
 // NewHub listens on addr (e.g. "127.0.0.1:0") for a cluster of size ranks
 // and serves the rendezvous and routing protocol in the background.
@@ -159,7 +199,7 @@ func (h *Hub) Close() error {
 	err := h.ln.Close()
 	for _, p := range peers {
 		if p != nil {
-			p.markGone()
+			p.markGone(true)
 		}
 	}
 	return err
@@ -195,6 +235,7 @@ func (h *Hub) admit(conn net.Conn) {
 		conn.Close()
 		return
 	}
+	p.rank = rank
 	h.peers[rank] = p
 	h.joined++
 	complete := h.joined == h.size && !h.started
@@ -227,7 +268,7 @@ func (h *Hub) servePeer(p *hubPeer, rank int) {
 			return
 		}
 		h.mu.Unlock()
-		p.markGone()
+		p.markGone(false)
 		return
 	}
 	h.route(p)
@@ -238,7 +279,7 @@ func (h *Hub) route(p *hubPeer) {
 	for {
 		f, err := readFrame(p.br)
 		if err != nil {
-			p.markGone()
+			p.markGone(false)
 			return
 		}
 		switch f.Kind {
@@ -251,11 +292,12 @@ func (h *Hub) route(p *hubPeer) {
 			started := h.started
 			h.mu.Unlock()
 			if dst == nil || !started {
-				continue // unclaimed rank, or data jumped the rendezvous
+				h.noteDrop(f) // unclaimed rank, or data jumped the rendezvous
+				continue
 			}
 			dst.send(f)
 		case frameBye:
-			p.markGone()
+			p.markGone(true)
 			return
 		}
 	}
@@ -338,15 +380,22 @@ func (ep *Endpoint) readLoop(br *bufio.Reader) {
 			ep.readErr = err
 			return
 		}
-		if f.Kind != frameData {
+		var m cluster.Message
+		switch f.Kind {
+		case frameData:
+			payload, err := decodePayload(f.Payload)
+			if err != nil {
+				ep.readErr = err
+				return
+			}
+			m = cluster.Message{From: f.From, Tag: f.Tag, Payload: payload, Bytes: f.Bytes}
+		case frameDown:
+			// The hub saw f.Rank's connection drop unannounced. Surface it
+			// in-band so FIFO order with the peer's final frames holds.
+			m = cluster.PeerDownMessage(f.Rank)
+		default:
 			continue
 		}
-		payload, err := decodePayload(f.Payload)
-		if err != nil {
-			ep.readErr = err
-			return
-		}
-		m := cluster.Message{From: f.From, Tag: f.Tag, Payload: payload, Bytes: f.Bytes}
 		select {
 		case ep.inbox <- m:
 		case <-ep.done:
@@ -362,8 +411,10 @@ func (ep *Endpoint) Rank() int { return ep.rank }
 func (ep *Endpoint) Size() int { return ep.size }
 
 // Deliver implements cluster.Endpoint: the message is gob-encoded and framed
-// to the hub, which routes it to rank `to`. A dead connection is fatal to
-// the rank, matching the panic-on-misuse style of the fabric API.
+// to the hub, which routes it to rank `to`. A write failure is NOT fatal: the
+// connection is closed and the loss surfaces as a LinkError from Next, so a
+// surviving worker never crashes because the hub (or its own link) died
+// mid-send. Encoding failures are still programmer errors and panic.
 func (ep *Endpoint) Deliver(to int, m cluster.Message) {
 	payload, err := encodePayload(m.Payload)
 	if err != nil {
@@ -371,36 +422,58 @@ func (ep *Endpoint) Deliver(to int, m cluster.Message) {
 	}
 	f := &frame{Kind: frameData, From: m.From, To: to, Tag: m.Tag, Bytes: m.Bytes, Payload: payload}
 	ep.wmu.Lock()
-	defer ep.wmu.Unlock()
-	if err := writeFrame(ep.bw, f); err != nil {
-		panic(fmt.Sprintf("tcp: rank %d lost hub connection: %v", ep.rank, err))
+	err = writeFrame(ep.bw, f)
+	if err == nil {
+		err = ep.bw.Flush()
 	}
-	if err := ep.bw.Flush(); err != nil {
-		panic(fmt.Sprintf("tcp: rank %d lost hub connection: %v", ep.rank, err))
+	ep.wmu.Unlock()
+	if err != nil {
+		// Kill the socket; the read loop notices and closes ep.failed.
+		ep.conn.Close()
 	}
 }
 
 // Next implements cluster.Endpoint. Messages already delivered are drained
-// before a dead connection is reported.
-func (ep *Endpoint) Next() cluster.Message {
+// before a dead connection is reported as a LinkError.
+func (ep *Endpoint) Next(timeout time.Duration) (cluster.Message, error) {
 	select {
 	case m := <-ep.inbox:
-		return m
+		return m, nil
 	default:
+	}
+	var timerC <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timerC = t.C
 	}
 	select {
 	case m := <-ep.inbox:
-		return m
+		return m, nil
+	case <-timerC:
+		return cluster.Message{}, cluster.ErrRecvTimeout
 	case <-ep.failed:
 		// One last drain: the read loop may have buffered messages before
 		// dying.
 		select {
 		case m := <-ep.inbox:
-			return m
+			return m, nil
 		default:
 		}
-		panic(fmt.Sprintf("tcp: rank %d: connection lost while receiving: %v", ep.rank, ep.readErr))
+		return cluster.Message{}, &cluster.LinkError{
+			Cause: fmt.Errorf("tcp: rank %d: connection lost while receiving: %v", ep.rank, ep.readErr),
+		}
 	}
+}
+
+// Abort implements cluster.Endpoint: the connection is closed with no bye
+// frame, so the hub treats this rank as unannounced death and broadcasts a
+// peer-down event to the survivors.
+func (ep *Endpoint) Abort() {
+	ep.closeOnce.Do(func() {
+		close(ep.done)
+		ep.conn.Close()
+	})
 }
 
 // TryNext implements cluster.Endpoint.
@@ -436,6 +509,7 @@ var _ cluster.Endpoint = (*Endpoint)(nil)
 
 type fabric struct {
 	hub   *Hub
+	eps   []*Endpoint
 	comms []*cluster.Comm
 }
 
@@ -449,6 +523,7 @@ func NewLoopbackFabric(p int, opts ...cluster.Option) (cluster.Fabric, error) {
 	if err != nil {
 		return nil, err
 	}
+	eps := make([]*Endpoint, p)
 	comms := make([]*cluster.Comm, p)
 	errs := make([]error, p)
 	var wg sync.WaitGroup
@@ -456,7 +531,10 @@ func NewLoopbackFabric(p int, opts ...cluster.Option) (cluster.Fabric, error) {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			comms[r], errs[r] = Connect(hub.Addr(), r, opts...)
+			eps[r], errs[r] = Dial(hub.Addr(), r, opts...)
+			if errs[r] == nil {
+				comms[r] = cluster.NewComm(eps[r])
+			}
 		}(r)
 	}
 	wg.Wait()
@@ -466,12 +544,19 @@ func NewLoopbackFabric(p int, opts ...cluster.Option) (cluster.Fabric, error) {
 			return nil, err
 		}
 	}
-	return &fabric{hub: hub, comms: comms}, nil
+	return &fabric{hub: hub, eps: eps, comms: comms}, nil
 }
 
 func (f *fabric) Size() int { return len(f.comms) }
 
 func (f *fabric) Comm(rank int) *cluster.Comm { return f.comms[rank] }
+
+// Endpoint exposes rank's raw endpoint (cluster.EndpointFabric).
+func (f *fabric) Endpoint(rank int) cluster.Endpoint { return f.eps[rank] }
+
+// Kill severs rank's connection without a bye (cluster.Killer): the hub
+// broadcasts the death to the survivors.
+func (f *fabric) Kill(rank int) { f.eps[rank].Abort() }
 
 func (f *fabric) Stats() cluster.Stats {
 	var out cluster.Stats
@@ -480,6 +565,7 @@ func (f *fabric) Stats() cluster.Stats {
 		out.Messages += s.Messages
 		out.Bytes += s.Bytes
 	}
+	out.Dropped = f.hub.DroppedFrames()
 	return out
 }
 

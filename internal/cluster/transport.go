@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Endpoint is one rank's raw attachment to a transport backend. It moves
@@ -20,11 +21,21 @@ type Endpoint interface {
 	Size() int
 	// Deliver enqueues m at rank to. It may block when the destination's
 	// inbox is full (bounded buffering, like MPI_Bsend with a full buffer).
+	// Delivery to a rank that has left the fabric is a silent drop, counted
+	// in the fabric's Stats.Dropped — never a panic.
 	Deliver(to int, m Message)
-	// Next blocks until a message arrives and returns it.
-	Next() Message
+	// Next returns the next arrived message. A timeout > 0 bounds the wait
+	// and ErrRecvTimeout reports its expiry; timeout <= 0 blocks until a
+	// message arrives. Any other error means this endpoint's own attachment
+	// is dead (terminal; subsequent calls keep failing). Backends surface a
+	// peer's unannounced death in-band as a PeerDownMessage.
+	Next(timeout time.Duration) (Message, error)
 	// TryNext returns an already-arrived message, if any, without blocking.
 	TryNext() (Message, bool)
+	// Abort severs the endpoint without the goodbye of Close: peers observe
+	// an unannounced death (PeerDownMessage). Idempotent; used by failure
+	// injection to simulate process death.
+	Abort()
 	// Close releases the endpoint. Calling Next/Deliver afterwards is a bug.
 	Close() error
 }

@@ -25,8 +25,11 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
+	"time"
 
 	"repro/internal/cluster"
 )
@@ -103,6 +106,16 @@ const (
 	// the submodel must be recovered from the redundant copy held by its
 	// predecessor in the ring (§4.3 "revert to the previously updated copy").
 	FailDropToken
+	// FailUnannounced is FailDropToken without the courtesy: the machine
+	// severs its fabric link with the token in memory and says nothing, like
+	// a SIGKILL. The coordinator must detect the death via the transport's
+	// peer-down signal and reconstruct the lost-token inventory from the
+	// survivors' replica traces.
+	FailUnannounced
+	// FailRescueAbort makes the machine die unannounced the moment it is
+	// asked to serve a rescue — the re-entrant failure: a rescuer dying
+	// during the rescue it was performing.
+	FailRescueAbort
 )
 
 // FailureInjection schedules a machine death for tests and the
@@ -132,8 +145,26 @@ type Config struct {
 	// streaming. Defaults to P.
 	MaxMachines int
 
-	Fail FailureInjection
+	// RescueTimeout bounds every failure-era wait: how long the supervising
+	// coordinator sits silent before re-probing, and the first wait for a
+	// rescue/probe/ack reply. <= 0 means DefaultRescueTimeout. Keep it
+	// above the worst-case single-visit training time, or slow-but-alive
+	// machines get declared dead.
+	RescueTimeout time.Duration
+	// RescueRetries bounds how many times a reply wait is retried, each
+	// retry doubling the previous wait (exponential backoff). A machine
+	// still silent after the last retry is declared dead. <= 0 means 3.
+	RescueRetries int
+
+	// Fail schedules a single failure injection (kept for compatibility);
+	// Fails schedules any number. They are merged.
+	Fail  FailureInjection
+	Fails []FailureInjection
 }
+
+// DefaultRescueTimeout is the default per-wait bound for failure detection
+// and rescue replies.
+const DefaultRescueTimeout = 30 * time.Second
 
 func (c *Config) fillDefaults() {
 	if c.P <= 0 {
@@ -148,17 +179,35 @@ func (c *Config) fillDefaults() {
 	if c.MaxMachines < c.P {
 		c.MaxMachines = c.P
 	}
-	if c.Fail.Mode != FailNone && !c.Replicas {
-		panic("core: fault tolerance requires Config.Replicas")
+	if c.RescueTimeout <= 0 {
+		c.RescueTimeout = DefaultRescueTimeout
+	}
+	if c.RescueRetries <= 0 {
+		c.RescueRetries = 3
+	}
+	if c.Fail.Mode != FailNone {
+		c.Fails = append(c.Fails, c.Fail)
+		c.Fail = FailureInjection{}
+	}
+	for _, f := range c.Fails {
+		if f.Mode != FailNone && !c.Replicas {
+			panic("core: fault tolerance requires Config.Replicas")
+		}
 	}
 }
 
-// FailureEvent records a recovered machine death.
+// FailureEvent records a machine death (and, when LostToken >= 0, the
+// recovery of a submodel that died with it).
 type FailureEvent struct {
 	Rank      int
 	LostToken int // submodel ID being trained when the machine died, -1 if none
 	Recovered bool
 	FromRank  int // machine whose replica restored the lost submodel, -1
+	// Unannounced marks a death detected via the transport (connection loss,
+	// SIGKILL) rather than a DeathNotice from the dying machine itself. An
+	// unannounced death yields one event for the death and one per lost
+	// token recovered by the probe sweep.
+	Unannounced bool
 }
 
 // IterationResult summarises one ParMAC iteration (one W step + one Z step).
@@ -170,6 +219,10 @@ type IterationResult struct {
 	FixMessages   int   // post-W repairs of stale/missing local copies
 	Failures      []FailureEvent
 	AliveMachines int
+	// DroppedFrames counts fabric frames discarded this iteration because
+	// their destination had died (requires a stats source: automatic
+	// in-process, SetStatsSource for distributed coordinators).
+	DroppedFrames int64
 }
 
 // message tags on the fabric.
@@ -188,6 +241,9 @@ const (
 	tagZDone
 	tagShutdown
 	tagShutdownAck
+	tagDeadRanks
+	tagProbe
+	tagProbeReply
 )
 
 // Engine is the ParMAC coordinator. It owns the authoritative model between
@@ -206,12 +262,27 @@ type Engine struct {
 	submodels []Submodel // authoritative model between iterations
 	versions  []int      // training visits accumulated per submodel
 
+	// incarnation counts coordinator resurrections per submodel; stale
+	// finishes/bounces from a superseded token copy are dropped against it.
+	incarnation []int
+
 	rng  *rand.Rand
 	iter int
 
 	// per-iteration traffic generated by the coordinator itself
 	coordHops  int64
 	coordBytes int64
+
+	// statsFn supplies fabric-level counters for DroppedFrames reporting
+	// (the in-process engine wires its own Network; distributed coordinators
+	// call SetStatsSource).
+	statsFn     func() cluster.Stats
+	lastDropped int64
+
+	// pendingDowns queues ranks whose death was observed inside a nested
+	// wait (rescue, probe) or declared by patience exhaustion, for the
+	// supervising loop to process.
+	pendingDowns []int
 
 	shutdown bool
 }
@@ -227,6 +298,7 @@ func New(prob Problem, cfg Config) *Engine {
 	net := cluster.NewNetwork(cfg.MaxMachines + 1)
 	e := newEngine(prob, cfg, net.Comm(cfg.MaxMachines))
 	e.net = net
+	e.statsFn = net.Stats
 	for r := 0; r < cfg.P; r++ {
 		e.spawnMachine(r, r)
 	}
@@ -269,8 +341,14 @@ func newEngine(prob Problem, cfg Config, coord *cluster.Comm) *Engine {
 		}
 	}
 	e.versions = make([]int, len(e.submodels))
+	e.incarnation = make([]int, len(e.submodels))
 	return e
 }
+
+// SetStatsSource wires a fabric-level stats snapshot (e.g. combining
+// comm.Stats with tcp.Hub.DroppedFrames) so IterationResult.DroppedFrames is
+// reported in the distributed shape. The in-process engine wires its own.
+func (e *Engine) SetStatsSource(fn func() cluster.Stats) { e.statsFn = fn }
 
 func (e *Engine) spawnMachine(rank, shard int) {
 	e.occupied[rank] = true
@@ -351,6 +429,31 @@ func (e *Engine) coordSendTo(rank, tag int, payload any) {
 	e.coord.Send(rank, tag, payload, 0)
 }
 
+// wState is the coordinator's view of one W step: which tokens finished at
+// which version, the itineraries, and the last send the coordinator itself
+// made per token (the coordinator's own trace entry for the probe sweep).
+type wState struct {
+	res      *IterationResult
+	routes   [][]int
+	train    int
+	final    []int
+	done     []bool
+	finished int
+	sent     []coordSend
+}
+
+// coordSend remembers the coordinator's last forward of a token: where it
+// went and what state it carried. If the token is lost before any machine
+// processes it again, this is both the trace and the recovery source (the
+// object is unmutated since the send — nobody else holds the token).
+type coordSend struct {
+	valid   bool
+	step    int
+	to      int
+	version int
+	sm      Submodel
+}
+
 // Iterate runs one full ParMAC iteration (W step then Z step) and returns its
 // summary.
 func (e *Engine) Iterate() IterationResult {
@@ -360,112 +463,213 @@ func (e *Engine) Iterate() IterationResult {
 	res := IterationResult{Iter: e.iter}
 	e.coordHops, e.coordBytes = 0, 0
 
+	// Deaths observed between iterations (e.g. a machine SIGKILLed after its
+	// Z ack) must be known before routes are built.
+	e.collectDowns(&res)
+
 	aliveList := e.AliveRanks()
 	p := len(aliveList)
 	if p == 0 {
 		panic("core: no machines alive")
 	}
 	trainVisits := e.cfg.Epochs * p
-	routes := e.buildRoutes(aliveList, trainVisits)
+	m := len(e.submodels)
+	st := &wState{
+		res:    &res,
+		routes: e.buildRoutes(aliveList, trainVisits),
+		train:  trainVisits,
+		final:  make([]int, m),
+		done:   make([]bool, m),
+		sent:   make([]coordSend, m),
+	}
 
 	// Start the W step on all alive machines, arming failure injection where
 	// scheduled.
 	for _, r := range aliveList {
-		failAfter := -1
-		if e.cfg.Fail.Mode != FailNone && e.cfg.Fail.Rank == r && e.cfg.Fail.Iteration == e.iter {
-			failAfter = e.cfg.Fail.AfterTok
-		}
+		failAfter, abrupt, onRescue := e.injectionFor(r)
 		e.coordSendTo(r, tagWStart, WStartMsg{
 			Iter: e.iter, Train: trainVisits, Within: e.cfg.Within,
 			Shuffle: e.cfg.Shuffle, Replicas: e.cfg.Replicas,
-			M: len(e.submodels), FailAfter: failAfter,
+			M: m, FailAfter: failAfter,
+			FailUnannounced: abrupt, FailRescueAbort: onRescue,
 		})
 	}
 	// Inject the initial tokens at their home machines.
 	for i, sm := range e.submodels {
-		tok := &Token{SM: sm, ID: i, Version: e.versions[i], Route: routes[i], Train: trainVisits}
+		tok := &Token{SM: sm, ID: i, Version: e.versions[i], Route: st.routes[i],
+			Train: trainVisits, Incarnation: e.incarnation[i]}
 		// Placement is free: submodel i starts resident at its home machine.
+		st.sent[i] = coordSend{valid: true, step: 0, to: tok.Route[0], version: tok.Version, sm: tok.SM}
 		e.coord.Send(tok.Route[0], tagToken, tok, 0)
 	}
 
-	// Supervise until all tokens finish.
-	finished := 0
-	finalVersion := make([]int, len(e.submodels))
-	for finished < len(e.submodels) {
-		msg := e.coord.Recv(cluster.AnyTag)
-		switch msg.Tag {
-		case tagFinished:
-			tok := msg.Payload.(*Token)
-			e.submodels[tok.ID] = tok.SM
-			finalVersion[tok.ID] = tok.Version
-			finished++
-		case tagDead:
-			n := msg.Payload.(DeathNotice)
-			ev := e.handleDeath(n)
-			res.Failures = append(res.Failures, ev)
-		case tagBounced:
-			tok := msg.Payload.(*Token)
-			if !e.forwardFromCoord(tok) {
-				e.submodels[tok.ID] = tok.SM
-				finalVersion[tok.ID] = tok.Version
-				finished++
-			}
-		default:
-			panic(fmt.Sprintf("core: coordinator got unexpected tag %d", msg.Tag))
-		}
-	}
-	copy(e.versions, finalVersion)
+	e.supervise(st)
+	copy(e.versions, st.final)
 
-	// Drain the W step: every alive machine acks with its local inventory
-	// and traffic counters; repair stale or missing copies so the Z step
-	// sees the full model.
-	aliveNow := e.AliveRanks()
-	for _, r := range aliveNow {
-		e.coordSendTo(r, tagWDone, nil)
-	}
-	for range aliveNow {
-		msg := e.coord.Recv(tagWAck)
-		ack := msg.Payload.(WAckMsg)
-		res.ModelMessages += ack.Hops
-		res.ModelBytes += ack.Bytes
-		have := make(map[int]int, len(ack.Entries))
-		for _, en := range ack.Entries {
-			have[en.ID] = en.Version
-		}
-		for id, sm := range e.submodels {
-			v, ok := have[id]
-			stale := !ok || (v >= 0 && v != finalVersion[id])
-			if stale {
-				var payload Submodel
-				if e.cfg.Replicas {
-					payload = sm.Clone()
-				} else {
-					payload = sm
-				}
-				e.coord.Send(msg.From, tagFix, FixMsg{ID: id, SM: payload}, sm.Bytes())
-				e.coordBytes += int64(sm.Bytes())
-				res.FixMessages++
-			}
-		}
-	}
-
-	// Z step: no communication between machines (§4.1).
-	for _, r := range aliveNow {
-		e.coordSendTo(r, tagZGo, nil)
-	}
-	for range aliveNow {
-		msg := e.coord.Recv(tagZDone)
-		res.ZChanged += msg.Payload.(ZDoneMsg).Changed
-	}
+	e.drainWAcks(st)
+	e.runZPhase(st)
 
 	res.ModelMessages += e.coordHops
 	res.ModelBytes += e.coordBytes
-	res.AliveMachines = len(aliveNow)
+	res.AliveMachines = len(e.AliveRanks())
+	if e.statsFn != nil {
+		d := e.statsFn().Dropped
+		res.DroppedFrames = d - e.lastDropped
+		e.lastDropped = d
+	}
 	if hook, ok := e.prob.(ModelSyncHook); ok {
 		hook.OnModelSync(e.submodels)
 	}
 	e.iter++
 	return res
+}
+
+// injectionFor resolves the failure injection armed for rank this iteration.
+func (e *Engine) injectionFor(rank int) (failAfter int, abrupt, onRescue bool) {
+	failAfter = -1
+	for _, f := range e.cfg.Fails {
+		if f.Rank != rank || f.Iteration != e.iter {
+			continue
+		}
+		switch f.Mode {
+		case FailDropToken:
+			failAfter = f.AfterTok
+		case FailUnannounced:
+			failAfter = f.AfterTok
+			abrupt = true
+		case FailRescueAbort:
+			onRescue = true
+		}
+	}
+	return failAfter, abrupt, onRescue
+}
+
+// supervise waits until every token has finished, converting transport
+// peer-down events into synthetic death handling and re-probing after
+// silence whenever failures have already happened. No wait here is
+// unbounded once a failure is in play.
+func (e *Engine) supervise(st *wState) {
+	for st.finished < len(e.submodels) {
+		if len(e.pendingDowns) > 0 {
+			r := e.pendingDowns[0]
+			e.pendingDowns = e.pendingDowns[1:]
+			if e.markDead(r, st.res) {
+				e.sweep(st)
+			}
+			continue
+		}
+		msg, err := e.coord.RecvEvent(cluster.AnySource, cluster.AnyTag, e.cfg.RescueTimeout)
+		if err != nil {
+			var pd *cluster.PeerDownError
+			switch {
+			case errors.As(err, &pd):
+				if e.markDead(pd.Rank, st.res) {
+					e.sweep(st)
+				}
+			case errors.Is(err, cluster.ErrRecvTimeout):
+				// Healthy-but-slow iterations just keep waiting; once any
+				// machine has died this iteration, silence means a token may
+				// be lost — re-probe.
+				if len(st.res.Failures) > 0 {
+					e.sweep(st)
+				}
+			default:
+				panic(fmt.Sprintf("core: coordinator lost its fabric: %v", err))
+			}
+			continue
+		}
+		e.superviseMsg(msg, st)
+	}
+}
+
+// superviseMsg dispatches one message during the W step (also used while a
+// probe sweep is collecting, so deaths and finishes interleave correctly).
+func (e *Engine) superviseMsg(msg cluster.Message, st *wState) {
+	switch msg.Tag {
+	case tagFinished:
+		tok := msg.Payload.(*Token)
+		if tok.Incarnation != e.incarnation[tok.ID] || st.done[tok.ID] {
+			return // a superseded duplicate survived; drop it
+		}
+		e.finishToken(tok, st)
+	case tagDead:
+		n := msg.Payload.(DeathNotice)
+		ev := e.handleDeath(n, st)
+		st.res.Failures = append(st.res.Failures, ev)
+		e.broadcastDead()
+	case tagBounced:
+		tok := msg.Payload.(*Token)
+		if tok.Incarnation != e.incarnation[tok.ID] || st.done[tok.ID] {
+			return
+		}
+		if !e.forwardFromCoord(tok, st) {
+			e.finishToken(tok, st)
+		}
+	case tagProbeReply, tagRescueReply, tagWAck:
+		// Late replies from an abandoned wait; already accounted for.
+	default:
+		panic(fmt.Sprintf("core: coordinator got unexpected tag %d", msg.Tag))
+	}
+}
+
+func (e *Engine) finishToken(tok *Token, st *wState) {
+	e.submodels[tok.ID] = tok.SM
+	st.final[tok.ID] = tok.Version
+	st.done[tok.ID] = true
+	st.sent[tok.ID].valid = false
+	st.finished++
+}
+
+// markDead flips rank to dead, records the failure, and broadcasts the
+// updated dead set to the survivors. It reports false when the rank was
+// already gone (duplicate signals are expected: transport event + patience
+// exhaustion can both fire).
+func (e *Engine) markDead(rank int, res *IterationResult) bool {
+	if rank < 0 || rank >= len(e.alive) || !e.occupied[rank] || !e.alive[rank] {
+		return false
+	}
+	e.alive[rank] = false
+	res.Failures = append(res.Failures, FailureEvent{
+		Rank: rank, LostToken: -1, FromRank: -1, Unannounced: true,
+	})
+	e.broadcastDead()
+	return true
+}
+
+// broadcastDead tells every live machine which ranks are out of the ring, so
+// their token forwards skip the dead instead of sending into a void.
+func (e *Engine) broadcastDead() {
+	var dead []int
+	for r := range e.alive {
+		if e.occupied[r] && !e.alive[r] {
+			dead = append(dead, r)
+		}
+	}
+	msg := DeadRanksMsg{Dead: dead}
+	for _, r := range e.AliveRanks() {
+		e.coordSendTo(r, tagDeadRanks, msg)
+	}
+}
+
+// flushPendingDowns marks dead any ranks whose down signal was consumed by a
+// nested wait but not yet processed, so the drain phases don't wait on them.
+func (e *Engine) flushPendingDowns(st *wState) {
+	for _, r := range e.pendingDowns {
+		e.markDead(r, st.res)
+	}
+	e.pendingDowns = nil
+}
+
+// collectDowns drains peer-down signals that arrived outside a supervised
+// wait (between iterations, or queued by a nested wait).
+func (e *Engine) collectDowns(res *IterationResult) {
+	for _, r := range e.coord.PollDown() {
+		e.markDead(r, res)
+	}
+	for _, r := range e.pendingDowns {
+		e.markDead(r, res)
+	}
+	e.pendingDowns = nil
 }
 
 // Run performs iters iterations and returns their results.
@@ -516,19 +720,24 @@ func (e *Engine) buildRoutes(alive []int, trainVisits int) [][]int {
 	return routes
 }
 
-// handleDeath processes a machine failure: mark it dead, reroute the bounced
-// token if intact, or recover the lost submodel from its predecessor's
-// replica (§4.3).
-func (e *Engine) handleDeath(n DeathNotice) FailureEvent {
+// handleDeath processes an announced machine failure: mark it dead, reroute
+// the bounced token if intact, or recover the lost submodel from its
+// predecessor's replica (§4.3 "revert to the previously updated copy").
+// Every rescue wait is bounded; a rescuer that itself dies mid-rescue fails
+// over to the next replica upstream, ultimately to the authoritative
+// pre-iteration state.
+func (e *Engine) handleDeath(n DeathNotice, st *wState) FailureEvent {
 	e.alive[n.Rank] = false
 	// The dead machine will never ack, so its traffic counters arrive here.
 	e.coordHops += n.Hops
 	e.coordBytes += n.Bytes
 	ev := FailureEvent{Rank: n.Rank, LostToken: n.LostID, FromRank: -1}
-	if n.Tok != nil {
+	if tok := n.Tok; tok != nil {
 		// Intact token bounced by the dying machine.
-		if !e.forwardFromCoord(n.Tok) {
-			e.coord.Send(e.coord.Rank(), tagFinished, n.Tok, 0) // self-deliver
+		if tok.Incarnation == e.incarnation[tok.ID] && !st.done[tok.ID] {
+			if !e.forwardFromCoord(tok, st) {
+				e.finishToken(tok, st)
+			}
 		}
 	}
 	if n.LostTok != nil {
@@ -541,9 +750,8 @@ func (e *Engine) handleDeath(n DeathNotice) FailureEvent {
 			if r == n.Rank || !e.alive[r] {
 				continue
 			}
-			e.coordSendTo(r, tagRescue, tok.ID)
-			reply := e.coord.RecvFrom(r, tagRescueReply).Payload.(RescueReply)
-			if reply.OK {
+			reply, ok := e.requestReplica(r, tok.ID)
+			if ok && reply.OK {
 				tok.SM = reply.SM
 				tok.Version = reply.Version
 				rescued = true
@@ -560,22 +768,312 @@ func (e *Engine) handleDeath(n DeathNotice) FailureEvent {
 			ev.FromRank = -1
 		}
 		// Resume the itinerary past the dead machine.
-		if !e.forwardFromCoord(tok) {
-			e.coord.Send(e.coord.Rank(), tagFinished, tok, 0)
+		if !e.forwardFromCoord(tok, st) {
+			e.finishToken(tok, st)
 		}
 	}
 	return ev
 }
 
+// traceCand is one account of a token's whereabouts during the probe sweep:
+// "machine from sent it toward position entry.Step, holding a replica at
+// entry.Version". from -1 is the coordinator's own last send.
+type traceCand struct {
+	from  int
+	entry TraceEntry
+}
+
+// sweep reconstructs the state of every unfinished token after an
+// unannounced death, from the survivors' records instead of the dead
+// machine's report: probe all live machines for their last-forward traces,
+// find each token's most advanced account, and resurrect the tokens whose
+// last known holder is dead (§4.3 without the DeathNotice). Sound for a
+// single concurrent failure because the transport delivers a dead peer's
+// final forwards before its down event, so a probe sent after the down
+// event is answered only after those forwards were processed; overlapping
+// failures are handled best-effort (training completes, every death is
+// recorded, but a token caught between two deaths may lose a visit).
+func (e *Engine) sweep(st *wState) {
+	if st.finished >= len(e.submodels) {
+		return
+	}
+	expect := make(map[int]bool)
+	for _, r := range e.AliveRanks() {
+		e.coordSendTo(r, tagProbe, nil)
+		expect[r] = true
+	}
+	collected := make(map[int][]traceCand)
+	wait := e.cfg.RescueTimeout
+	retries := e.cfg.RescueRetries
+	for len(expect) > 0 {
+		msg, err := e.coord.RecvEvent(cluster.AnySource, cluster.AnyTag, wait)
+		if err != nil {
+			var pd *cluster.PeerDownError
+			switch {
+			case errors.As(err, &pd):
+				e.markDead(pd.Rank, st.res)
+				delete(expect, pd.Rank)
+			case errors.Is(err, cluster.ErrRecvTimeout):
+				if retries == 0 {
+					// Patience exhausted: the silent machines are dead.
+					for r := range expect {
+						e.markDead(r, st.res)
+						delete(expect, r)
+					}
+					continue
+				}
+				retries--
+				wait *= 2
+			default:
+				panic(fmt.Sprintf("core: coordinator lost its fabric: %v", err))
+			}
+			continue
+		}
+		if msg.Tag == tagProbeReply && expect[msg.From] {
+			delete(expect, msg.From)
+			for _, en := range msg.Payload.(ProbeReply).Entries {
+				collected[en.ID] = append(collected[en.ID], traceCand{from: msg.From, entry: en})
+			}
+			continue
+		}
+		// Tokens keep finishing (and machines keep dying) while the sweep
+		// collects; handle them through the normal dispatcher.
+		e.superviseMsg(msg, st)
+	}
+	for id := range e.submodels {
+		if st.done[id] {
+			continue
+		}
+		cands := append([]traceCand(nil), collected[id]...)
+		if s := st.sent[id]; s.valid {
+			cands = append(cands, traceCand{from: -1,
+				entry: TraceEntry{ID: id, Step: s.step, To: s.to, Version: s.version}})
+		}
+		if len(cands) == 0 {
+			continue
+		}
+		// Most advanced account first; the coordinator's own wins ties (its
+		// copy is exact). Ties between machines cannot disagree: equal Step
+		// means the same forward observed twice.
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].entry.Step != cands[j].entry.Step {
+				return cands[i].entry.Step > cands[j].entry.Step
+			}
+			return cands[i].from < cands[j].from
+		})
+		top := cands[0]
+		if top.entry.To == e.coord.Rank() {
+			continue // in flight to the coordinator; supervise will receive it
+		}
+		if e.alive[top.entry.To] {
+			continue // still circulating at a live machine
+		}
+		e.resurrect(id, cands, st)
+	}
+}
+
+// resurrect rebuilds a token lost in an unannounced death and re-injects it
+// at the position it died, under a bumped incarnation so any surviving
+// duplicate of the old copy is dropped on arrival. The replica walk visits
+// the same machines in the same order as the announced-death rescue, so the
+// recovered state — and therefore the final model — is bit-identical to
+// what an announced death of the same machine would have produced.
+func (e *Engine) resurrect(id int, cands []traceCand, st *wState) {
+	top := cands[0]
+	ev := FailureEvent{Rank: top.entry.To, LostToken: id, FromRank: -1, Unannounced: true}
+	tok := &Token{ID: id, Route: st.routes[id], Train: st.train, Step: top.entry.Step}
+	recovered := false
+	for _, c := range cands {
+		if c.from < 0 {
+			// The coordinator's own send was never processed by anyone: its
+			// retained copy is exactly the lost state.
+			s := st.sent[id]
+			tok.SM = s.sm.Clone()
+			tok.Version = s.version
+			recovered = true
+			break
+		}
+		if !e.alive[c.from] {
+			continue
+		}
+		reply, ok := e.requestReplica(c.from, id)
+		if ok && reply.OK {
+			tok.SM = reply.SM
+			tok.Version = reply.Version
+			ev.FromRank = c.from
+			recovered = true
+			break
+		}
+	}
+	if !recovered {
+		// No replica anywhere: restart from the authoritative pre-iteration
+		// state.
+		tok.SM = e.submodels[id].Clone()
+		tok.Version = e.versions[id]
+	}
+	ev.Recovered = true
+	e.incarnation[id]++
+	tok.Incarnation = e.incarnation[id]
+	st.res.Failures = append(st.res.Failures, ev)
+	if !e.forwardFromCoord(tok, st) {
+		e.finishToken(tok, st)
+	}
+}
+
+// requestReplica asks rank r for its replica of submodel id, with bounded
+// patience (RescueTimeout doubling per retry). ok is false when r died or
+// stayed silent past the last retry; any death observed while waiting is
+// queued on pendingDowns for the supervising loop to process.
+func (e *Engine) requestReplica(r, id int) (RescueReply, bool) {
+	if r < 0 || r >= len(e.alive) || !e.alive[r] || e.coord.Down(r) {
+		return RescueReply{}, false
+	}
+	e.coordSendTo(r, tagRescue, id)
+	wait := e.cfg.RescueTimeout
+	for try := 0; ; try++ {
+		msg, err := e.coord.RecvEvent(r, tagRescueReply, wait)
+		if err == nil {
+			return msg.Payload.(RescueReply), true
+		}
+		var pd *cluster.PeerDownError
+		switch {
+		case errors.As(err, &pd):
+			e.pendingDowns = append(e.pendingDowns, pd.Rank)
+			if pd.Rank == r {
+				return RescueReply{}, false
+			}
+		case errors.Is(err, cluster.ErrRecvTimeout):
+			if try >= e.cfg.RescueRetries {
+				e.pendingDowns = append(e.pendingDowns, r)
+				return RescueReply{}, false
+			}
+			wait *= 2
+		default:
+			panic(fmt.Sprintf("core: coordinator lost its fabric: %v", err))
+		}
+	}
+}
+
+// drainWAcks closes the W step: every live machine reports its local model
+// inventory and traffic counters, and stale or missing copies are repaired
+// so the Z step sees the full model. A machine that dies during the drain
+// is marked dead and skipped.
+func (e *Engine) drainWAcks(st *wState) {
+	e.flushPendingDowns(st)
+	expect := make(map[int]bool)
+	for _, r := range e.AliveRanks() {
+		e.coordSendTo(r, tagWDone, nil)
+		expect[r] = true
+	}
+	wait := e.cfg.RescueTimeout
+	retries := e.cfg.RescueRetries
+	for len(expect) > 0 {
+		msg, err := e.coord.RecvEvent(cluster.AnySource, cluster.AnyTag, wait)
+		if err != nil {
+			var pd *cluster.PeerDownError
+			switch {
+			case errors.As(err, &pd):
+				e.markDead(pd.Rank, st.res)
+				delete(expect, pd.Rank)
+			case errors.Is(err, cluster.ErrRecvTimeout):
+				if retries == 0 {
+					for r := range expect {
+						e.markDead(r, st.res)
+						delete(expect, r)
+					}
+					continue
+				}
+				retries--
+				wait *= 2
+			default:
+				panic(fmt.Sprintf("core: coordinator lost its fabric: %v", err))
+			}
+			continue
+		}
+		if msg.Tag != tagWAck || !expect[msg.From] {
+			continue // straggler from the supervised phase; already accounted
+		}
+		delete(expect, msg.From)
+		ack := msg.Payload.(WAckMsg)
+		st.res.ModelMessages += ack.Hops
+		st.res.ModelBytes += ack.Bytes
+		have := make(map[int]int, len(ack.Entries))
+		for _, en := range ack.Entries {
+			have[en.ID] = en.Version
+		}
+		for id, sm := range e.submodels {
+			v, ok := have[id]
+			stale := !ok || (v >= 0 && v != st.final[id])
+			if stale {
+				var payload Submodel
+				if e.cfg.Replicas {
+					payload = sm.Clone()
+				} else {
+					payload = sm
+				}
+				e.coord.Send(msg.From, tagFix, FixMsg{ID: id, SM: payload}, sm.Bytes())
+				e.coordBytes += int64(sm.Bytes())
+				st.res.FixMessages++
+			}
+		}
+	}
+}
+
+// runZPhase triggers the shard-local Z step (§4.1: no communication between
+// machines) on every live machine and collects the change counts. tagZGo is
+// never re-sent — ZStep is not idempotent — so a machine that dies here
+// just loses its shard's update for this iteration.
+func (e *Engine) runZPhase(st *wState) {
+	e.flushPendingDowns(st)
+	expect := make(map[int]bool)
+	for _, r := range e.AliveRanks() {
+		e.coordSendTo(r, tagZGo, nil)
+		expect[r] = true
+	}
+	wait := e.cfg.RescueTimeout
+	retries := e.cfg.RescueRetries
+	for len(expect) > 0 {
+		msg, err := e.coord.RecvEvent(cluster.AnySource, cluster.AnyTag, wait)
+		if err != nil {
+			var pd *cluster.PeerDownError
+			switch {
+			case errors.As(err, &pd):
+				e.markDead(pd.Rank, st.res)
+				delete(expect, pd.Rank)
+			case errors.Is(err, cluster.ErrRecvTimeout):
+				if retries == 0 {
+					for r := range expect {
+						e.markDead(r, st.res)
+						delete(expect, r)
+					}
+					continue
+				}
+				retries--
+				wait *= 2
+			default:
+				panic(fmt.Sprintf("core: coordinator lost its fabric: %v", err))
+			}
+			continue
+		}
+		if msg.Tag != tagZDone || !expect[msg.From] {
+			continue
+		}
+		delete(expect, msg.From)
+		st.res.ZChanged += msg.Payload.(ZDoneMsg).Changed
+	}
+}
+
 // forwardFromCoord advances tok.Step to the next alive itinerary position and
-// sends the token there. It reports false when no alive position remains (the
+// sends the token there, recording the send as the coordinator's trace entry
+// for the probe sweep. It reports false when no alive position remains (the
 // token is finished).
-func (e *Engine) forwardFromCoord(tok *Token) bool {
+func (e *Engine) forwardFromCoord(tok *Token, st *wState) bool {
 	for pos := tok.Step; pos < len(tok.Route); pos++ {
 		if e.alive[tok.Route[pos]] {
 			tok.Step = pos
 			e.coordHops++
 			e.coordBytes += int64(tok.SM.Bytes())
+			st.sent[tok.ID] = coordSend{valid: true, step: pos, to: tok.Route[pos], version: tok.Version, sm: tok.SM}
 			e.coord.Send(tok.Route[pos], tagToken, tok, tok.SM.Bytes())
 			return true
 		}

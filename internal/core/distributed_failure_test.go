@@ -1,0 +1,77 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// The unannounced-death acceptance test on the TCP backend: a worker process
+// severs its connection mid-W-step (the in-process stand-in for a SIGKILL —
+// the real-process variant lives in cmd/parmac-train's e2e test), and the
+// coordinator must finish training on the survivors with a model
+// bit-identical to the announced-death path for the same survivor set.
+func TestDistributedUnannouncedMatchesAnnounced(t *testing.T) {
+	const P, M, shards, points, iters = 3, 6, 3, 4, 2
+	base := core.Config{
+		P: P, Epochs: 2, Replicas: true, Seed: 12,
+		RescueTimeout: 2 * time.Second, RescueRetries: 2,
+	}
+	ann := base
+	ann.Fail = core.FailureInjection{Mode: core.FailDropToken, Rank: 1, Iteration: 0, AfterTok: 3}
+	una := base
+	una.Fail = core.FailureInjection{Mode: core.FailUnannounced, Rank: 1, Iteration: 0, AfterTok: 3}
+
+	coordA, workersA, resA := runDistributed(t, ann, iters, shards, points, M)
+	coordU, workersU, resU := runDistributed(t, una, iters, shards, points, M)
+
+	for i := range coordA.subs {
+		a, u := coordA.subs[i], coordU.subs[i]
+		if a.Sum != u.Sum || a.Count != u.Count {
+			t.Fatalf("submodel %d diverged: announced(sum=%v,count=%d) unannounced(sum=%v,count=%d)",
+				i, a.Sum, a.Count, u.Sum, u.Count)
+		}
+		if len(a.Visits) != len(u.Visits) {
+			t.Fatalf("submodel %d visit logs differ: %v vs %v", i, a.Visits, u.Visits)
+		}
+		for j := range a.Visits {
+			if a.Visits[j] != u.Visits[j] {
+				t.Fatalf("submodel %d visit %d differs: %v vs %v", i, j, a.Visits, u.Visits)
+			}
+		}
+	}
+	// Survivors' shard-local Z state must agree across the two failure modes.
+	for _, r := range []int{0, 2} {
+		if za, zu := workersA[r].shards[r].z[0], workersU[r].shards[r].z[0]; za != zu {
+			t.Fatalf("worker %d Z state diverged: announced %v, unannounced %v", r, za, zu)
+		}
+	}
+
+	if len(resA[0].Failures) != 1 || resA[0].Failures[0].Unannounced {
+		t.Fatalf("announced run events = %+v", resA[0].Failures)
+	}
+	var sawDeath, sawRecovery bool
+	for _, ev := range resU[0].Failures {
+		if ev.Rank == 1 && ev.Unannounced && ev.LostToken == -1 {
+			sawDeath = true
+		}
+		if ev.Rank == 1 && ev.Unannounced && ev.LostToken >= 0 && ev.Recovered {
+			sawRecovery = true
+		}
+	}
+	if !sawDeath || !sawRecovery {
+		t.Fatalf("unannounced run events = %+v, want death + recovered token", resU[0].Failures)
+	}
+	for it := 0; it < iters; it++ {
+		if resA[it].AliveMachines != P-1 || resU[it].AliveMachines != P-1 {
+			t.Fatalf("iteration %d alive: announced %d, unannounced %d",
+				it, resA[it].AliveMachines, resU[it].AliveMachines)
+		}
+	}
+	// The TCP hub must have counted (not delivered, not crashed on) frames
+	// addressed to the departed worker.
+	if resU[0].DroppedFrames == 0 && resU[1].DroppedFrames == 0 {
+		t.Log("no frames dropped toward the dead worker (timing-dependent; not an error)")
+	}
+}

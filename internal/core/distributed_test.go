@@ -142,6 +142,7 @@ func runDistributed(t *testing.T, cfg core.Config, iters, shards, points, m int)
 
 	coordProb := newWireProblem(shards, points, m)
 	eng := core.NewDistributed(coordProb, cfg, fab.Comm(cfg.P))
+	eng.SetStatsSource(fab.Stats)
 	results := eng.Run(iters)
 	eng.Shutdown()
 	wg.Wait() // workers must drain their shutdown before the fabric dies

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/cluster/chaos"
+)
+
+// Tests for surviving unannounced worker death: the machine severs its fabric
+// link mid-W-step (a SIGKILL, in effect) and the coordinator must detect it
+// through the transport, reconstruct the lost-token inventory from the
+// survivors' records, and finish training with a model bit-identical to the
+// announced-death path.
+
+// fastRescue keeps failure-era waits short in tests without weakening them.
+const fastRescue = 2 * time.Second
+
+func runWithFailures(t *testing.T, fails []FailureInjection, iters int) (*toyProblem, []IterationResult) {
+	t.Helper()
+	p := newToyProblem(3, 4, 6)
+	e := New(p, Config{
+		P: 3, Epochs: 2, Replicas: true, Seed: 12,
+		RescueTimeout: fastRescue, RescueRetries: 2,
+		Fails: fails,
+	})
+	defer e.Shutdown()
+	return p, e.Run(iters)
+}
+
+func hasEvent(evs []FailureEvent, match func(FailureEvent) bool) bool {
+	for _, ev := range evs {
+		if match(ev) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestUnannouncedDeathMatchesAnnounced is the core bit-parity claim: killing
+// a machine without a DeathNotice must produce exactly the model the
+// announced death of the same machine at the same protocol point produces.
+// The recovery walk visits the same replicas in the same order, so every
+// surviving submodel — sums, counts and visit logs — must agree bit for bit.
+func TestUnannouncedDeathMatchesAnnounced(t *testing.T) {
+	inj := func(mode FailMode) []FailureInjection {
+		return []FailureInjection{{Mode: mode, Rank: 1, Iteration: 0, AfterTok: 3}}
+	}
+	pa, ra := runWithFailures(t, inj(FailDropToken), 2)
+	pu, ru := runWithFailures(t, inj(FailUnannounced), 2)
+
+	for i := range pa.subs {
+		a, u := pa.subs[i], pu.subs[i]
+		if a.sum != u.sum || a.count != u.count {
+			t.Fatalf("submodel %d diverged: announced(sum=%v,count=%d) unannounced(sum=%v,count=%d)",
+				i, a.sum, a.count, u.sum, u.count)
+		}
+		if len(a.visits) != len(u.visits) {
+			t.Fatalf("submodel %d visit logs differ: %v vs %v", i, a.visits, u.visits)
+		}
+		for j := range a.visits {
+			if a.visits[j] != u.visits[j] {
+				t.Fatalf("submodel %d visit %d differs: %v vs %v", i, j, a.visits, u.visits)
+			}
+		}
+	}
+	for s := range pa.shards {
+		if s == 1 {
+			continue // the dead machine's shard is untouched after the death
+		}
+		if pa.shards[s].z[0] != pu.shards[s].z[0] {
+			t.Fatalf("shard %d Z state diverged: %v vs %v", s, pa.shards[s].z[0], pu.shards[s].z[0])
+		}
+	}
+
+	if len(ra[0].Failures) != 1 || ra[0].Failures[0].Unannounced {
+		t.Fatalf("announced run events = %+v", ra[0].Failures)
+	}
+	// The unannounced run records the death itself plus every token the sweep
+	// had to resurrect — at minimum the one the machine held when it died.
+	if !hasEvent(ru[0].Failures, func(ev FailureEvent) bool {
+		return ev.Rank == 1 && ev.LostToken == -1 && ev.Unannounced
+	}) {
+		t.Fatalf("unannounced death not recorded: %+v", ru[0].Failures)
+	}
+	if !hasEvent(ru[0].Failures, func(ev FailureEvent) bool {
+		return ev.Rank == 1 && ev.LostToken >= 0 && ev.Recovered && ev.Unannounced
+	}) {
+		t.Fatalf("no recovered lost token recorded: %+v", ru[0].Failures)
+	}
+	for it := 0; it < 2; it++ {
+		if ra[it].AliveMachines != 2 || ru[it].AliveMachines != 2 {
+			t.Fatalf("iteration %d alive: announced %d, unannounced %d",
+				it, ra[it].AliveMachines, ru[it].AliveMachines)
+		}
+	}
+}
+
+// TestTwoUnannouncedDeathsSameWStep: overlapping unannounced failures are
+// best-effort — training must still complete on the survivors with both
+// deaths recorded, and the engine must keep iterating afterwards.
+func TestTwoUnannouncedDeathsSameWStep(t *testing.T) {
+	p := newToyProblem(4, 3, 5)
+	e := New(p, Config{
+		P: 4, Epochs: 2, Replicas: true, Seed: 33,
+		RescueTimeout: fastRescue, RescueRetries: 2,
+		Fails: []FailureInjection{
+			{Mode: FailUnannounced, Rank: 1, Iteration: 0, AfterTok: 2},
+			{Mode: FailUnannounced, Rank: 3, Iteration: 0, AfterTok: 2},
+		},
+	})
+	defer e.Shutdown()
+	res := e.Iterate()
+	if res.AliveMachines != 2 {
+		t.Fatalf("alive = %d, want 2 (failures: %+v)", res.AliveMachines, res.Failures)
+	}
+	for _, rank := range []int{1, 3} {
+		if !hasEvent(res.Failures, func(ev FailureEvent) bool {
+			return ev.Rank == rank && ev.Unannounced && ev.LostToken == -1
+		}) {
+			t.Fatalf("death of rank %d not recorded: %+v", rank, res.Failures)
+		}
+	}
+	for _, sub := range p.subs {
+		if sub.count == 0 {
+			t.Fatalf("submodel %d never trained", sub.id)
+		}
+	}
+	res2 := e.Iterate()
+	if res2.AliveMachines != 2 || len(res2.Failures) != 0 {
+		t.Fatalf("second iteration after double death: %+v", res2)
+	}
+}
+
+// TestRescuerDiesDuringRescue: rank 1 dies announced, losing a token; rank 0
+// — its ring predecessor and therefore the replica holder asked first — dies
+// unannounced the moment the rescue request arrives. The coordinator must
+// fail over to the next replica upstream (or the authoritative copy) and
+// finish on the lone survivor.
+func TestRescuerDiesDuringRescue(t *testing.T) {
+	p, res := runWithFailures(t, []FailureInjection{
+		{Mode: FailDropToken, Rank: 1, Iteration: 0, AfterTok: 3},
+		{Mode: FailRescueAbort, Rank: 0, Iteration: 0},
+	}, 2)
+	if res[0].AliveMachines != 1 {
+		t.Fatalf("alive = %d, want 1 (failures: %+v)", res[0].AliveMachines, res[0].Failures)
+	}
+	if !hasEvent(res[0].Failures, func(ev FailureEvent) bool {
+		return ev.Rank == 1 && !ev.Unannounced && ev.Recovered
+	}) {
+		t.Fatalf("announced death of rank 1 not recovered: %+v", res[0].Failures)
+	}
+	if !hasEvent(res[0].Failures, func(ev FailureEvent) bool {
+		return ev.Rank == 0 && ev.Unannounced
+	}) {
+		t.Fatalf("rescuer death not recorded: %+v", res[0].Failures)
+	}
+	for _, sub := range p.subs {
+		if sub.count == 0 {
+			t.Fatalf("submodel %d never trained", sub.id)
+		}
+	}
+	if res[1].AliveMachines != 1 {
+		t.Fatalf("second iteration alive = %d, want 1", res[1].AliveMachines)
+	}
+}
+
+// TestDeathBetweenIterations: a machine killed after its Z ack but before
+// the next W step. collectDowns must mark it dead before routes are built,
+// so the iteration runs clean on the survivors with no token ever lost.
+func TestDeathBetweenIterations(t *testing.T) {
+	p := newToyProblem(3, 4, 4)
+	e := New(p, Config{P: 3, Epochs: 1, Replicas: true, Seed: 5, RescueTimeout: fastRescue})
+	defer e.Shutdown()
+	r0 := e.Iterate()
+	if r0.AliveMachines != 3 || len(r0.Failures) != 0 {
+		t.Fatalf("healthy iteration: %+v", r0)
+	}
+	e.net.Kill(1)
+	r1 := e.Iterate()
+	if r1.AliveMachines != 2 {
+		t.Fatalf("alive = %d, want 2", r1.AliveMachines)
+	}
+	if len(r1.Failures) != 1 || r1.Failures[0].Rank != 1 ||
+		!r1.Failures[0].Unannounced || r1.Failures[0].LostToken != -1 {
+		t.Fatalf("failures = %+v, want one clean unannounced death", r1.Failures)
+	}
+	for _, sub := range p.subs {
+		if sub.count == 0 {
+			t.Fatalf("submodel %d never trained", sub.id)
+		}
+	}
+}
+
+// TestEngineUnderChaosKill drives the full engine over a chaos-wrapped
+// fabric: the chaos layer kills rank 1 at a deterministic protocol point
+// (its third token forward), unannounced, with the in-flight token lost.
+// The run must complete on the survivors and record the death.
+func TestEngineUnderChaosKill(t *testing.T) {
+	const P, M = 3, 5
+	prob := newToyProblem(P, 4, M)
+	inner := cluster.NewNetwork(P + 1)
+	fab, err := chaos.New(inner, chaos.Options{
+		Seed:  7,
+		Kills: []chaos.KillSpec{{Rank: 1, Tag: tagToken, AfterSends: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fab.Close()
+	for r := 0; r < P; r++ {
+		go RunWorker(fab.Comm(r), prob, r, WorkerOptions{
+			Seed:          WorkerSeed(99, r),
+			SharedProblem: true,
+		})
+	}
+	cfg := Config{
+		P: P, Epochs: 2, Replicas: true, Seed: 99,
+		RescueTimeout: fastRescue, RescueRetries: 2,
+	}
+	e := NewDistributed(prob, cfg, fab.Comm(P))
+	e.SetStatsSource(fab.Stats)
+	defer e.Shutdown()
+
+	res := e.Iterate()
+	if res.AliveMachines != P-1 {
+		t.Fatalf("alive = %d, want %d (failures: %+v)", res.AliveMachines, P-1, res.Failures)
+	}
+	if !hasEvent(res.Failures, func(ev FailureEvent) bool {
+		return ev.Rank == 1 && ev.Unannounced
+	}) {
+		t.Fatalf("chaos kill not recorded: %+v", res.Failures)
+	}
+	for _, sub := range prob.subs {
+		if sub.count == 0 {
+			t.Fatalf("submodel %d never trained", sub.id)
+		}
+	}
+	res2 := e.Iterate()
+	if res2.AliveMachines != P-1 || len(res2.Failures) != 0 {
+		t.Fatalf("second iteration after chaos kill: %+v", res2)
+	}
+}

@@ -21,6 +21,11 @@ type Token struct {
 	Version int // training visits completed
 	Route   []int
 	Train   int
+	// Incarnation counts coordinator resurrections of this submodel after
+	// unannounced deaths. A finished or bounced token whose incarnation is
+	// stale is a surviving duplicate of a copy already given up on, and is
+	// dropped. Old wire bytes decode with 0, matching never-resurrected.
+	Incarnation int
 }
 
 // WStartMsg opens one iteration's W step on a machine.
@@ -32,6 +37,12 @@ type WStartMsg struct {
 	Replicas  bool
 	M         int // total submodel count (for the machine's Z-step assembly)
 	FailAfter int // injected failure: die at this token, -1 to stay alive
+	// FailUnannounced makes the injected death unannounced: the machine
+	// severs its fabric link (no DeathNotice), like a SIGKILL.
+	FailUnannounced bool
+	// FailRescueAbort makes the machine die unannounced upon its next rescue
+	// request — the "rescuer dies during the rescue" re-entry case.
+	FailRescueAbort bool
 }
 
 // DeathNotice is the metadata a dying machine manages to emit: an intact
@@ -83,6 +94,32 @@ type RescueReply struct {
 	OK      bool
 }
 
+// DeadRanksMsg tells every surviving machine which ranks have left the ring
+// mid-W-step (announced or not), so token forwards skip them instead of
+// sending into a dead inbox.
+type DeadRanksMsg struct {
+	Dead []int
+}
+
+// TraceEntry is one machine's record of the last thing it did with a token:
+// after processing it, the machine sent the token toward itinerary position
+// Step, to rank To, holding a local replica at Version. The coordinator's
+// probe sweep aggregates these to reconstruct where each token was when a
+// machine died unannounced — the replica inventory stands in for the dead
+// machine's report (§4.3 without a DeathNotice).
+type TraceEntry struct {
+	ID      int
+	Step    int // itinerary position the token was sent toward
+	To      int // rank it was sent to (the coordinator's rank if finished)
+	Version int // version of this machine's replica of the submodel
+}
+
+// ProbeReply answers a coordinator liveness/trace probe with every token
+// trace this machine holds for the current W step.
+type ProbeReply struct {
+	Entries []TraceEntry
+}
+
 func init() {
 	gob.Register(&Token{})
 	gob.Register(WStartMsg{})
@@ -91,4 +128,6 @@ func init() {
 	gob.Register(ZDoneMsg{})
 	gob.Register(FixMsg{})
 	gob.Register(RescueReply{})
+	gob.Register(DeadRanksMsg{})
+	gob.Register(ProbeReply{})
 }

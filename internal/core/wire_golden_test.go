@@ -44,6 +44,11 @@ func fixedWireMessages() []struct {
 		{"zdone.golden.hex", ZDoneMsg{Changed: 17}},
 		{"fix.golden.hex", FixMsg{ID: 6}},
 		{"rescue_reply.golden.hex", RescueReply{Version: 4, OK: true}},
+		{"dead_ranks.golden.hex", DeadRanksMsg{Dead: []int{1, 3}}},
+		{"probe_reply.golden.hex", ProbeReply{Entries: []TraceEntry{
+			{ID: 2, Step: 4, To: 1, Version: 3},
+			{ID: 5, Step: 7, To: 3, Version: 6},
+		}}},
 	}
 }
 

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"repro/internal/cluster"
 )
@@ -43,6 +45,8 @@ func RunWorker(comm *cluster.Comm, prob Problem, shard int, opt WorkerOptions) {
 		coordRank: comm.Size() - 1,
 		rank:      comm.Rank(),
 		local:     make(map[int]localEntry),
+		deadRanks: make(map[int]bool),
+		traces:    make(map[int]TraceEntry),
 		rng:       rand.New(rand.NewSource(opt.Seed)),
 		failAfter: -1,
 	}
@@ -63,21 +67,47 @@ type worker struct {
 	coordRank int
 	rank      int
 	local     map[int]localEntry
+	deadRanks map[int]bool       // ranks known to have left the ring
+	traces    map[int]TraceEntry // per token: last forward this machine made
 	rng       *rand.Rand
 
 	// per-iteration state, armed by WStartMsg
-	m         int
-	replicas  bool
-	hops      int64
-	bytes     int64
-	failAfter int // -1: never
-	processed int
-	dead      bool
+	m          int
+	replicas   bool
+	hops       int64
+	bytes      int64
+	failAfter  int // -1: never
+	processed  int
+	dead       bool
+	failAbrupt bool // injected death is unannounced (no DeathNotice)
+	failRescue bool // die unannounced upon the next rescue request
+}
+
+// recv is the worker's failure-aware receive. Peer-down events observed on
+// the transport feed the dead-rank set (so forwards reroute) and the wait
+// continues; ok is false when this worker's own fabric attachment is gone,
+// which is the worker's cue to exit quietly — never to panic.
+func (w *worker) recv() (cluster.Message, bool) {
+	for {
+		msg, err := w.comm.RecvEvent(cluster.AnySource, cluster.AnyTag, -1)
+		if err == nil {
+			return msg, true
+		}
+		var pd *cluster.PeerDownError
+		if errors.As(err, &pd) {
+			w.deadRanks[pd.Rank] = true
+			continue
+		}
+		return cluster.Message{}, false
+	}
 }
 
 func (w *worker) run() {
 	for {
-		msg := w.comm.Recv(cluster.AnyTag)
+		msg, ok := w.recv()
+		if !ok {
+			return
+		}
 		switch msg.Tag {
 		case tagWStart:
 			if w.runWStep(msg.Payload.(WStartMsg)) {
@@ -95,11 +125,46 @@ func (w *worker) run() {
 			// A token raced a shutdown/retire; bounce it to the coordinator.
 			w.comm.Send(w.coordRank, tagBounced, msg.Payload, 0)
 		case tagRescue:
-			w.handleRescue(msg.Payload.(int))
+			if w.handleRescue(msg.Payload.(int)) {
+				return
+			}
+		case tagDeadRanks:
+			w.mergeDeadRanks(msg.Payload.(DeadRanksMsg))
+		case tagProbe:
+			w.sendProbeReply()
+		case tagWDone:
+			// A drain request that arrived after the W step already closed
+			// (e.g. the coordinator re-drained around a failure): re-ack the
+			// inventory; the traffic counters were already reported.
+			w.comm.Send(w.coordRank, tagWAck, WAckMsg{Entries: w.inventory()}, 0)
 		default:
 			panic(fmt.Sprintf("core: machine %d got unexpected tag %d", w.rank, msg.Tag))
 		}
 	}
+}
+
+func (w *worker) mergeDeadRanks(m DeadRanksMsg) {
+	for _, r := range m.Dead {
+		w.deadRanks[r] = true
+	}
+}
+
+// isDeadRank combines coordinator knowledge (DeadRanksMsg, which includes
+// announced deaths) with transport knowledge (peer-down events this worker
+// has drained itself).
+func (w *worker) isDeadRank(r int) bool {
+	return w.deadRanks[r] || w.comm.Down(r)
+}
+
+// sendProbeReply reports every token trace of the current W step, sorted by
+// submodel ID for determinism.
+func (w *worker) sendProbeReply() {
+	entries := make([]TraceEntry, 0, len(w.traces))
+	for _, tr := range w.traces {
+		entries = append(entries, tr)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].ID < entries[j].ID })
+	w.comm.Send(w.coordRank, tagProbeReply, ProbeReply{Entries: entries}, 0)
 }
 
 // ackShutdown is the worker's very last send: Retire blocks on it before
@@ -109,12 +174,20 @@ func (w *worker) ackShutdown() {
 	w.comm.Send(w.coordRank, tagShutdownAck, nil, 0)
 }
 
-func (w *worker) handleRescue(id int) {
+// handleRescue answers a replica request. It returns true when the worker
+// died instead (the injected rescuer-dies-during-rescue failure).
+func (w *worker) handleRescue(id int) bool {
+	if w.failRescue {
+		w.failRescue = false
+		w.comm.Abort()
+		return true
+	}
 	if entry, ok := w.local[id]; ok {
 		w.comm.Send(w.coordRank, tagRescueReply, RescueReply{SM: entry.sm, Version: entry.version, OK: true}, 0)
 	} else {
 		w.comm.Send(w.coordRank, tagRescueReply, RescueReply{}, 0)
 	}
+	return false
 }
 
 // runWStep is the paper's asynchronous W-step loop: "extract a submodel from
@@ -125,8 +198,11 @@ func (w *worker) runWStep(cfg WStartMsg) bool {
 	w.m = cfg.M
 	w.replicas = cfg.Replicas
 	w.failAfter = cfg.FailAfter
+	w.failAbrupt = cfg.FailUnannounced
+	w.failRescue = cfg.FailRescueAbort
 	w.processed = 0
 	w.hops, w.bytes = 0, 0
+	w.traces = make(map[int]TraceEntry)
 	if !w.shared {
 		// This worker owns its Problem instance, so per-iteration state (the
 		// μ schedule, SGD re-tuning) must advance here; in the shared shape
@@ -137,7 +213,10 @@ func (w *worker) runWStep(cfg WStartMsg) bool {
 	}
 	shard := w.prob.Shard(w.shard)
 	for {
-		msg := w.comm.Recv(cluster.AnyTag)
+		msg, ok := w.recv()
+		if !ok {
+			return true
+		}
 		switch msg.Tag {
 		case tagToken:
 			tok := msg.Payload.(*Token)
@@ -146,6 +225,14 @@ func (w *worker) runWStep(cfg WStartMsg) bool {
 				continue
 			}
 			if w.failAfter >= 0 && w.processed >= w.failAfter {
+				if w.failAbrupt {
+					// Unannounced death: sever the fabric link with the token
+					// in memory, exactly like a SIGKILL between receive and
+					// forward. Nothing escapes; the coordinator must detect
+					// and reconstruct (§4.3 without the DeathNotice).
+					w.comm.Abort()
+					return true
+				}
 				// The machine dies now. Its memory — including the submodel
 				// it was about to train — is gone; only the failure
 				// detection metadata escapes.
@@ -159,7 +246,13 @@ func (w *worker) runWStep(cfg WStartMsg) bool {
 			}
 			w.processToken(tok, shard, cfg)
 		case tagRescue:
-			w.handleRescue(msg.Payload.(int))
+			if w.handleRescue(msg.Payload.(int)) {
+				return true
+			}
+		case tagDeadRanks:
+			w.mergeDeadRanks(msg.Payload.(DeadRanksMsg))
+		case tagProbe:
+			w.sendProbeReply()
 		case tagWDone:
 			w.comm.Send(w.coordRank, tagWAck,
 				WAckMsg{Entries: w.inventory(), Hops: w.hops, Bytes: w.bytes}, 0)
@@ -184,15 +277,26 @@ func (w *worker) processToken(tok *Token, shard Shard, cfg WStartMsg) {
 	tok.Step++
 	w.processed++
 	w.record(tok)
-	// Forward along the itinerary. The machine does not know who died; a
-	// dead successor bounces the token to the coordinator, which reroutes it
-	// past the failure ("should not visit p anymore", §4.3).
-	if tok.Step < len(tok.Route) {
+	// Forward along the itinerary, skipping positions held by machines known
+	// to be dead (DeadRanksMsg from the coordinator, peer-down events from
+	// the transport) — the same next-alive-position rule the coordinator
+	// applies when rerouting, so the training sequence is identical whether
+	// the death was announced or not. A death this machine has not heard of
+	// yet still bounces (announced) or is reconstructed by the coordinator's
+	// probe sweep (unannounced).
+	next := tok.Step
+	for next < len(tok.Route) && w.isDeadRank(tok.Route[next]) {
+		next++
+	}
+	tok.Step = next
+	if next < len(tok.Route) {
+		w.traces[tok.ID] = TraceEntry{ID: tok.ID, Step: next, To: tok.Route[next], Version: tok.Version}
 		w.hops++
 		w.bytes += int64(tok.SM.Bytes())
-		w.comm.Send(tok.Route[tok.Step], tagToken, tok, tok.SM.Bytes())
+		w.comm.Send(tok.Route[next], tagToken, tok, tok.SM.Bytes())
 		return
 	}
+	w.traces[tok.ID] = TraceEntry{ID: tok.ID, Step: len(tok.Route), To: w.coordRank, Version: tok.Version}
 	w.comm.Send(w.coordRank, tagFinished, tok, 0)
 }
 
